@@ -1,0 +1,92 @@
+"""Figures 2-5 — the DRQ motivation study on ResNet-20.
+
+* Fig. 2: % of low-precision inputs feeding each *sensitive* output,
+  bucketed 0-25/25-50/50-75/75-100 per layer.
+* Fig. 3: precision loss on sensitive outputs per layer.
+* Fig. 4: % of high-precision inputs feeding each *insensitive* output.
+* Fig. 5: extra precision (Eq. 1) wasted on insensitive outputs.
+
+One bench file regenerates all four because they share a single
+instrumented DRQ inference pass (exactly as in the paper's study).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.motivation import (
+    collect_motivation_stats,
+    render_bucket_table,
+    render_scalar_chart,
+)
+
+
+@pytest.fixture(scope="module")
+def motivation_stats(resnet20_cifar10, wb):
+    model, ds = resnet20_cifar10
+    calib = wb.calibration_batch("cifar10")
+    return collect_motivation_stats(
+        model, calib, ds.x_test[:32], output_threshold=0.2
+    )
+
+
+def test_fig02_lowprec_inputs_into_sensitive_outputs(benchmark, resnet20_cifar10, wb, emit):
+    model, ds = resnet20_cifar10
+    calib = wb.calibration_batch("cifar10")
+    stats = benchmark.pedantic(
+        collect_motivation_stats,
+        args=(model, calib, ds.x_test[:16], 0.2),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "fig02_lowprec_inputs",
+        render_bucket_table(
+            stats, "low",
+            "Fig. 2: % low-precision inputs used per sensitive output (DRQ, ResNet-20)",
+        ),
+    )
+    # Paper's observation: in most layers sensitive outputs draw >25% of
+    # their inputs from low precision.
+    many = sum(1 for s in stats if s.lowprec_input_buckets[1:].sum() > 0.5)
+    assert many >= len(stats) // 2
+
+
+def test_fig03_precision_loss_sensitive(motivation_stats, benchmark, emit):
+    stats = motivation_stats
+    losses = benchmark(lambda: [s.precision_loss_sensitive for s in stats])
+    emit(
+        "fig03_precision_loss",
+        render_scalar_chart(
+            stats, "precision_loss_sensitive",
+            "Fig. 3: DRQ precision loss on sensitive outputs per layer (ResNet-20)",
+        ),
+    )
+    assert max(losses) > 0.0  # the loss the paper complains about exists
+
+
+def test_fig04_highprec_inputs_into_insensitive_outputs(motivation_stats, benchmark, emit):
+    stats = motivation_stats
+    shares = benchmark(lambda: [s.highprec_input_buckets[1:].sum() for s in stats])
+    emit(
+        "fig04_highprec_waste",
+        render_bucket_table(
+            stats, "high",
+            "Fig. 4: % high-precision inputs used per insensitive output (DRQ, ResNet-20)",
+        ),
+    )
+    # Paper: >25% of high-precision inputs feed insensitive outputs in
+    # multiple layers.
+    assert sum(1 for v in shares if v > 0.25) >= 2
+
+
+def test_fig05_extra_precision_insensitive(motivation_stats, benchmark, emit):
+    stats = motivation_stats
+    extras = benchmark(lambda: [s.extra_precision_insensitive for s in stats])
+    emit(
+        "fig05_extra_precision",
+        render_scalar_chart(
+            stats, "extra_precision_insensitive",
+            "Fig. 5: computation waste (Eq. 1 extra precision) on insensitive outputs",
+        ),
+    )
+    assert max(extras) > 0.0

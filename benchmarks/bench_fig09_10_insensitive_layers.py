@@ -1,0 +1,53 @@
+"""Figures 9-10 — % insensitive output features per layer under ODQ.
+
+ResNet-56 (Fig. 9) and ResNet-20 (Fig. 10).  The paper's takeaway is the
+*considerable variation across layers and models*, which motivates the
+dynamic PE allocation; the benches assert that variation exists.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    per_layer_insensitivity,
+    render_insensitivity_chart,
+)
+
+
+def _insensitivity(wb, model_name):
+    theta = wb.odq_threshold(model_name, "cifar10")
+    model = wb.odq_model(model_name, "cifar10")
+    ds = wb.dataset("cifar10")
+    calib = wb.calibration_batch("cifar10")
+    return per_layer_insensitivity(model, calib, ds.x_test[:32], theta)
+
+
+def test_fig10_resnet20_insensitive_per_layer(benchmark, wb, emit):
+    layers = benchmark.pedantic(
+        _insensitivity, args=(wb, "resnet20"), rounds=1, iterations=1
+    )
+    emit(
+        "fig10_insensitive_resnet20",
+        render_insensitivity_chart(
+            layers, "Fig. 10: % insensitive output features per layer (ResNet-20, ODQ)"
+        ),
+    )
+    fracs = [l.insensitive_fraction for l in layers]
+    assert len(layers) == 19
+    # Variation across layers (the figure's point).
+    assert max(fracs) - min(fracs) > 0.1
+
+
+def test_fig09_resnet56_insensitive_per_layer(benchmark, wb, emit):
+    layers = benchmark.pedantic(
+        _insensitivity, args=(wb, "resnet56"), rounds=1, iterations=1
+    )
+    emit(
+        "fig09_insensitive_resnet56",
+        render_insensitivity_chart(
+            layers, "Fig. 9: % insensitive output features per layer (ResNet-56, ODQ)"
+        ),
+    )
+    fracs = [l.insensitive_fraction for l in layers]
+    assert len(layers) == 55
+    assert max(fracs) - min(fracs) > 0.1

@@ -1,0 +1,83 @@
+"""Figure 18 — Top-1 accuracy and high-precision share per scheme.
+
+All four paper networks on the CIFAR-10 and CIFAR-100 stand-ins, under
+FP32, INT16/INT8 static DoReFa, DRQ 8-4, DRQ 4-2, and ODQ 4-2.  The shape
+asserted is the paper's: ODQ tracks DRQ 8-4 closely while DRQ 4-2
+collapses at low bit widths.
+"""
+
+import pytest
+
+from repro.analysis.accuracy import compare_accuracy, render_fig18
+from repro.models.registry import PAPER_MODELS
+
+#: CIFAR-100 at bench scale only for the lighter models (DenseNet at 100
+#: classes is disproportionately slow on the NumPy substrate).
+DATASETS_FOR = {
+    "resnet20": ("cifar10", "cifar100"),
+    "resnet56": ("cifar10",),
+    "vgg16": ("cifar10", "cifar100"),
+    "densenet": ("cifar10",),
+}
+
+
+@pytest.fixture(scope="module")
+def comparisons(wb):
+    out = []
+    for model_name in PAPER_MODELS:
+        for ds_name in DATASETS_FOR[model_name]:
+            ds = wb.dataset(ds_name)
+            tm = wb.trained_model(model_name, ds_name)
+            theta = wb.odq_threshold(model_name, ds_name)
+            out.append(
+                compare_accuracy(
+                    tm.model,
+                    model_name,
+                    ds_name,
+                    wb.calibration_batch(ds_name),
+                    ds.x_test,
+                    ds.y_test,
+                    theta,
+                    odq_model=wb.odq_model(model_name, ds_name),
+                )
+            )
+    return out
+
+
+def test_fig18_accuracy_comparison(benchmark, comparisons, wb, emit):
+    # Benchmark one representative scheme evaluation (ODQ on ResNet-20).
+    ds = wb.dataset("cifar10")
+    theta = wb.odq_threshold("resnet20", "cifar10")
+    model = wb.odq_model("resnet20", "cifar10")
+
+    from repro.core.pipeline import run_scheme
+    from repro.core.schemes import odq_scheme
+
+    benchmark.pedantic(
+        run_scheme,
+        args=(model, odq_scheme(theta), wb.calibration_batch("cifar10"),
+              ds.x_test[:64], ds.y_test[:64]),
+        rounds=1,
+        iterations=1,
+    )
+
+    emit("fig18_accuracy", render_fig18(comparisons))
+
+    for c in comparisons:
+        fp = c.get("FP32").accuracy
+        # Static INT16/INT8 track FP closely.
+        assert abs(c.get("INT16").accuracy - fp) <= 0.08
+        # DRQ 4-2 never beats DRQ 8-4 meaningfully (low-bit collapse).
+        assert c.get("DRQ 4-2").accuracy <= c.get("DRQ 8-4").accuracy + 0.05
+        # ODQ at 4-2 bits clears DRQ at the same bit widths.
+        assert c.get("ODQ 4-2").accuracy >= c.get("DRQ 4-2").accuracy - 0.05
+
+
+def test_fig18_odq_tracks_drq84(benchmark, comparisons, emit):
+    """The headline <=0.6% claim, relaxed to our substrate's scale: the
+    mean ODQ-vs-DRQ-8-4 gap stays small while DRQ 4-2's gap is large."""
+    import numpy as np
+
+    odq_gaps = benchmark(lambda: [c.odq_drop_vs_drq84 for c in comparisons])
+    drq42_gaps = [c.drq42_drop_vs_fp for c in comparisons]
+    assert np.mean(odq_gaps) < np.mean(drq42_gaps)

@@ -1,0 +1,37 @@
+"""Figure 19 — normalized execution time of the four DNNs on the four
+Table-2 accelerators (INT16, INT8, DRQ, ODQ).
+
+Mask dumps from quantized inference feed the cycle-approximate simulator;
+times are normalized to the INT16 DoReFa baseline, like the paper's bars.
+Shape asserted: ODQ < DRQ < INT8 < INT16 for every network, with a large
+ODQ-vs-INT16 reduction (paper: 97.8% avg) and a substantial ODQ-vs-DRQ
+reduction (paper: 67.6% avg).
+"""
+
+import numpy as np
+
+from repro.analysis.performance import render_fig19
+
+
+def test_fig19_normalized_execution_time(benchmark, accel_comparisons, emit):
+    # Benchmark the simulator itself on the largest workload set.
+    heaviest = accel_comparisons[0].runs["ODQ"].sim
+    wls = [l for l in heaviest.layers]
+
+    def kernel():
+        return [l.cycles for l in wls]
+
+    benchmark(kernel)
+
+    emit("fig19_exec_time", render_fig19(accel_comparisons))
+
+    reductions_int16, reductions_drq = [], []
+    for c in accel_comparisons:
+        t = {k: run.cycles for k, run in c.runs.items()}
+        assert t["ODQ"] < t["DRQ"] < t["INT8"] < t["INT16"], c.model_name
+        reductions_int16.append(c.odq_speedup_vs("INT16"))
+        reductions_drq.append(c.odq_speedup_vs("DRQ"))
+
+    # Headline shape: huge win vs INT16, substantial win vs DRQ.
+    assert np.mean(reductions_int16) > 0.85
+    assert np.mean(reductions_drq) > 0.2

@@ -1,0 +1,37 @@
+"""Figure 21 — normalized energy of the four DNNs on the four
+accelerators, with the DRAM / Buffer / Cores / static breakdown.
+
+Paper's findings: ODQ saves 97.6% vs INT16, 93.5% vs INT8, 66.9% vs DRQ;
+every component contributes.  We assert the orderings and a large
+ODQ-vs-INT16 saving.
+"""
+
+import numpy as np
+
+from repro.analysis.performance import render_fig21
+
+
+def test_fig21_normalized_energy(benchmark, accel_comparisons, emit):
+    def kernel():
+        return [
+            c.runs["ODQ"].energy.total_pj for c in accel_comparisons
+        ]
+
+    benchmark(kernel)
+
+    emit("fig21_energy", render_fig21(accel_comparisons))
+
+    savings_int16, savings_drq = [], []
+    for c in accel_comparisons:
+        e = {k: run.energy.total_pj for k, run in c.runs.items()}
+        assert e["ODQ"] < e["DRQ"] < e["INT8"] < e["INT16"], c.model_name
+        savings_int16.append(c.odq_energy_saving_vs("INT16"))
+        savings_drq.append(c.odq_energy_saving_vs("DRQ"))
+
+        # Breakdown components are all positive and sum to the total.
+        b = c.runs["ODQ"].energy
+        assert b.cores_pj > 0 and b.buffer_pj > 0 and b.dram_pj > 0
+        assert abs(b.total_pj - (b.cores_pj + b.buffer_pj + b.dram_pj + b.static_pj)) < 1e-6
+
+    assert np.mean(savings_int16) > 0.7
+    assert np.mean(savings_drq) > 0.1

@@ -1,0 +1,46 @@
+"""Figure 22 — threshold analysis on ResNet-20.
+
+Sweeps the sensitivity threshold and reports Top-1 accuracy plus the
+share of INT4 (sensitive) vs INT2 (insensitive) output computation.  The
+paper's shape: raising the threshold trades accuracy (gently at first)
+for a growing INT2 share.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import render_threshold_sweep
+from repro.core.threshold import threshold_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep(wb):
+    ds = wb.dataset("cifar10")
+    tm = wb.trained_model("resnet20", "cifar10")
+    thresholds = [0.05, 0.1, 0.2, 0.4, 0.7, 1.0]
+    return threshold_sweep(
+        tm.model,
+        wb.calibration_batch("cifar10"),
+        ds.x_test,
+        ds.y_test,
+        thresholds,
+        finetune=wb._finetune_kwargs("cifar10"),
+    )
+
+
+def test_fig22_threshold_analysis(benchmark, sweep, emit):
+    points = sweep
+    benchmark(lambda: [(p.accuracy, p.insensitive_fraction) for p in points])
+
+    emit(
+        "fig22_threshold",
+        render_threshold_sweep(points, "Fig. 22: threshold analysis (ResNet-20)"),
+    )
+
+    accs = [p.accuracy for p in points]
+    insens = [p.insensitive_fraction for p in points]
+    # Raising the threshold 0 -> 1 must grow the INT2 share substantially
+    # (paper: ~40 points) ...
+    assert insens[-1] - insens[0] > 0.15
+    # ... and the best accuracy lives at the low-threshold end.
+    assert max(accs[:3]) >= max(accs[3:]) - 0.05

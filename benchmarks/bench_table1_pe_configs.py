@@ -1,0 +1,30 @@
+"""Table 1 — PE-array configurations vs the maximum sensitive-output
+fraction that causes no pipeline bubbles.
+
+This is the analytic heart of the reconfigurable accelerator: with ``p``
+predictor arrays (1 cycle/MAC) and ``e`` executor arrays (3 cycles/MAC on
+the sensitive fraction ``s``), the pipeline is bubble-free iff
+``s <= e / (3 p)``.  The bench asserts the published table *exactly*.
+"""
+
+from repro.accel.alloc import table1_configurations
+from repro.analysis.performance import render_table1
+
+#: Published Table 1 (percentages floored, as printed in the paper).
+PAPER_TABLE1 = {
+    (9, 18): 66,
+    (12, 15): 41,
+    (15, 12): 26,
+    (18, 9): 16,
+    (21, 6): 9,
+}
+
+
+def test_table1_pe_configurations(benchmark, emit):
+    configs = benchmark(table1_configurations)
+    emit("table1_pe_configs", render_table1())
+
+    assert len(configs) == len(PAPER_TABLE1)
+    for cfg in configs:
+        key = (cfg.predictor_arrays, cfg.executor_arrays)
+        assert int(100 * cfg.max_sensitive_fraction) == PAPER_TABLE1[key], key

@@ -1,0 +1,28 @@
+"""Table 2 — accelerator configurations under the common area budget.
+
+The PE counts are the paper's published values; the bench additionally
+checks them against this repo's analytic 45 nm area model (which must
+place every design in the right regime, within ~15% of the paper).
+"""
+
+from repro.accel.configs import TABLE2
+from repro.accel.pe import pes_in_budget
+from repro.analysis.performance import render_table2
+
+
+def test_table2_configurations(benchmark, emit):
+    table = benchmark(lambda: dict(TABLE2))
+    emit("table2_accelerators", render_table2())
+
+    assert table["INT16"].num_pes == 120
+    assert table["INT8"].num_pes == 1692
+    assert table["DRQ"].num_pes == 1692
+    assert table["ODQ"].num_pes == 4860
+    # All designs share the on-chip memory budget.
+    mems = {spec.onchip_memory_bytes for spec in table.values()}
+    assert len(mems) == 1
+
+    # Analytic area model consistency (see repro.accel.pe).
+    assert pes_in_budget(16) == 120
+    assert abs(pes_in_budget(4) - 1692) / 1692 < 0.15
+    assert abs(pes_in_budget(2) - 4860) / 4860 < 0.15

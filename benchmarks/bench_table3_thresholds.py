@@ -1,0 +1,54 @@
+"""Table 3 — per-model ODQ thresholds from the adaptive halving search.
+
+The paper publishes 0.5 / 0.5 / 0.3 / 0.05 for ResNet-56 / ResNet-20 /
+VGG-16 / DenseNet.  Our models and data differ, so the *values* re-derive
+differently; the bench reproduces the *procedure* (threshold candidates
+halve, each retrains, first acceptable one wins) and the *property* that
+optimal thresholds vary per model.
+"""
+
+import pytest
+
+from repro.analysis.sensitivity import render_table3
+from repro.config import PAPER_THRESHOLDS
+from repro.models.registry import PAPER_MODELS
+
+
+@pytest.fixture(scope="module")
+def thresholds(wb):
+    return {name: wb.odq_threshold(name, "cifar10") for name in PAPER_MODELS}
+
+
+def test_table3_adaptive_thresholds(benchmark, thresholds, emit):
+    benchmark(lambda: dict(thresholds))
+
+    lines = [render_table3(thresholds), "", "Paper's published values:"]
+    for name, theta in PAPER_THRESHOLDS.items():
+        lines.append(f"  {name}: {theta}")
+    emit("table3_thresholds", "\n".join(lines))
+
+    assert set(thresholds) == set(PAPER_MODELS)
+    assert all(t > 0 for t in thresholds.values())
+
+
+def test_table3_search_trace_halves(benchmark, wb):
+    """The search trace follows the paper's halving rule."""
+    from repro.core.threshold import adaptive_threshold_search
+
+    ds = wb.dataset("cifar10")
+    tm = wb.trained_model("resnet20", "cifar10")
+    result = benchmark.pedantic(
+        adaptive_threshold_search,
+        args=(tm.model, wb.calibration_batch("cifar10"), ds.x_test[:48], ds.y_test[:48]),
+        kwargs=dict(
+            max_accuracy_drop=0.05,
+            start_threshold=0.8,
+            max_halvings=3,
+            finetune=wb._finetune_kwargs("cifar10"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    thetas = [t for t, _ in result.trace]
+    for a, b in zip(thetas, thetas[1:]):
+        assert b == pytest.approx(a / 2)

@@ -1,0 +1,89 @@
+"""Shared fixtures for the per-figure/table benchmark harness.
+
+Heavy artefacts (datasets, trained models, ODQ thresholds and retrained
+twins) are built once per session through the global
+:class:`~repro.analysis.workbench.Workbench` and shared by every bench.
+Each bench regenerates one table or figure of the paper, prints it, and
+writes it to ``results/`` so the full reproduction artefact can be read
+after a run; ``pytest benchmarks/ --benchmark-only`` also times each
+experiment's computational kernel.
+
+Scale: set ``REPRO_SCALE=default`` for paper-sized runs (32x32 images,
+full-width models); the default ``small`` finishes the whole harness in
+minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.workbench import global_workbench
+
+RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+
+
+@pytest.fixture(scope="session")
+def wb():
+    return global_workbench()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Write a rendered table/figure to results/ and echo it."""
+
+    def _emit(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def resnet20_cifar10(wb):
+    """(trained model, dataset) pair most figures are built on."""
+    tm = wb.trained_model("resnet20", "cifar10")
+    return tm.model, wb.dataset("cifar10")
+
+
+@pytest.fixture(scope="session")
+def accel_comparisons(wb):
+    """Fig. 19/21 shared artefact: all four models through all four
+    (scheme, accelerator) pairs."""
+    from repro.analysis.performance import compare_accelerators
+    from repro.models.registry import PAPER_MODELS
+
+    out = []
+    for model_name in PAPER_MODELS:
+        ds = wb.dataset("cifar10")
+        tm = wb.trained_model(model_name, "cifar10")
+        theta = wb.odq_threshold(model_name, "cifar10")
+        out.append(
+            compare_accelerators(
+                tm.model,
+                model_name,
+                wb.calibration_batch("cifar10"),
+                ds.x_test[:64],
+                ds.y_test[:64],
+                theta,
+                odq_model=wb.odq_model(model_name, "cifar10"),
+            )
+        )
+    return out
+
+
+@pytest.fixture(scope="session")
+def odq_setup(wb):
+    """(odq-retrained resnet20, threshold, dataset) for ODQ figures."""
+    theta = wb.odq_threshold("resnet20", "cifar10")
+    model = wb.odq_model("resnet20", "cifar10")
+    return model, theta, wb.dataset("cifar10")

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Design-space exploration of the reconfigurable ODQ accelerator.
+
+Walks the accelerator substrate without any training:
+
+* Table 1 — the bubble-free PE allocation frontier;
+* the Fig.-14/15/16 scheduling example, cycle for cycle;
+* idle-PE behaviour of static vs dynamic allocation across a sweep of
+  sensitive-output fractions (Figs 11 and 20's mechanism);
+* a synthetic ResNet-20-shaped workload through all four Table-2
+  accelerator models.
+
+Run:  python examples/accelerator_exploration.py
+"""
+
+import numpy as np
+
+from repro.accel import (
+    DRQAccelerator,
+    Int8Accelerator,
+    Int16Accelerator,
+    LayerWorkload,
+    ODQAccelerator,
+    PEAllocation,
+    choose_allocation,
+    ideal_dynamic_schedule,
+    idle_fractions,
+    odq_dynamic_schedule,
+    static_schedule,
+    table1_configurations,
+)
+from repro.utils.report import ascii_table
+
+
+def show_table1() -> None:
+    rows = [
+        [str(c), f"{100 * c.max_sensitive_fraction:.0f}%"]
+        for c in table1_configurations()
+    ]
+    print(ascii_table(["allocation", "max bubble-free sensitive %"], rows,
+                      title="Table 1: the allocation frontier"))
+
+
+def show_scheduling_example() -> None:
+    print("\nFig. 14-16 example: six executor arrays, per-array loads 7/4/4/7/4/4")
+    st = static_schedule([7, 4, 4, 7, 4, 4], 6)
+    dy = ideal_dynamic_schedule([7, 4, 4, 7, 4, 4], 6)
+    od = odq_dynamic_schedule([11, 7, 6, 6], 6, granularity=1)
+    print(f"  static assignment:     {st.makespan_cycles} cycles "
+          f"({st.idle_cycles} idle cycles)   [paper: 21]")
+    print(f"  ideal work stealing:   {dy.makespan_cycles} cycles            [paper: 15]")
+    print(f"  candidate-set scheme:  {od.makespan_cycles} cycles            [paper: 15]")
+
+
+def show_idle_sweep() -> None:
+    print("\nIdle PEs vs sensitive fraction (static P12/E15 vs dynamic):")
+    rows = []
+    static = PEAllocation(12, 15)
+    for s in (0.05, 0.1, 0.2, 0.3, 0.41, 0.5, 0.66):
+        st = idle_fractions(s, static).overall_idle_fraction
+        alloc = choose_allocation(s)
+        dy = idle_fractions(s, alloc).overall_idle_fraction
+        rows.append([f"{100 * s:.0f}%", f"{100 * st:.1f}%", str(alloc), f"{100 * dy:.1f}%"])
+    print(ascii_table(["sensitive", "static idle", "dynamic alloc", "dynamic idle"], rows))
+
+
+def resnet20_shaped_workloads(sensitive: float) -> list[LayerWorkload]:
+    """Synthetic workload with ResNet-20's layer geometry (32x32 input)."""
+    rng = np.random.default_rng(0)
+    plan = (
+        [(3, 16, 32)]
+        + [(16, 16, 32)] * 6
+        + [(16, 32, 16)] + [(32, 32, 16)] * 5
+        + [(32, 64, 8)] + [(64, 64, 8)] * 5
+    )
+    wls = []
+    for i, (cin, cout, hw) in enumerate(plan):
+        total_out = cout * hw * hw
+        macs = total_out * cin * 9
+        counts = rng.multinomial(int(total_out * sensitive), np.ones(cout) / cout)
+        wls.append(
+            LayerWorkload(
+                name=f"C{i + 1}", in_channels=cin, out_channels=cout, kernel=3,
+                out_h=hw, out_w=hw, images=1,
+                macs={
+                    "int16": macs, "int8": macs,
+                    "drq_hi": macs // 2, "drq_lo": macs - macs // 2,
+                    "pred_int2": macs, "exec_int4": int(macs * sensitive),
+                },
+                sensitive_fraction=sensitive,
+                per_channel_sensitive=counts,
+                input_sensitive_fraction=0.5,
+            )
+        )
+    return wls
+
+
+def show_accelerator_comparison() -> None:
+    print("\nResNet-20-shaped workload (25% sensitive) on the Table-2 designs:")
+    wls = resnet20_shaped_workloads(0.25)
+    ref = Int16Accelerator().simulate(wls)
+    rows = []
+    for accel in (Int16Accelerator(), Int8Accelerator(), DRQAccelerator(), ODQAccelerator()):
+        sim = accel.simulate(wls)
+        rows.append(
+            [
+                accel.spec.name,
+                f"{sim.total_cycles:,.0f}",
+                f"{sim.normalized_time(ref):.4f}",
+                f"{sim.normalized_energy(ref):.4f}",
+            ]
+        )
+    print(ascii_table(["accelerator", "cycles", "norm. time", "norm. energy"], rows))
+
+
+def main() -> None:
+    show_table1()
+    show_scheduling_example()
+    show_idle_sweep()
+    show_accelerator_comparison()
+
+
+if __name__ == "__main__":
+    main()

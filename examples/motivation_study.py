@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The Section-2 motivation study (Figures 2-5) on ResNet-20.
+
+Shows *why* input-directed quantization (DRQ) is insufficient: sensitive
+outputs get polluted by low-precision inputs (Figs 2-3) while insensitive
+outputs waste high-precision computation (Figs 4-5).
+
+Run:  python examples/motivation_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.motivation import (
+    collect_motivation_stats,
+    render_bucket_table,
+    render_scalar_chart,
+)
+from repro.data import synthetic_cifar10
+from repro.models import resnet20
+from repro.nn import SGD, Trainer
+
+
+def main() -> None:
+    ds = synthetic_cifar10(
+        num_train=320, num_test=96, image_size=16, noise=0.12, max_shift=1, seed=7
+    )
+    model = resnet20(scale=0.25, rng=np.random.default_rng(5))
+    trainer = Trainer(
+        model,
+        SGD(model.parameters(), lr=0.05, momentum=0.9),
+        batch_size=32,
+        rng=np.random.default_rng(5),
+    )
+    print("training ResNet-20 ...")
+    trainer.fit(ds.x_train, ds.y_train, epochs=6)
+    model.eval()
+
+    stats = collect_motivation_stats(
+        model, ds.x_train[:48], ds.x_test[:32], output_threshold=0.2
+    )
+
+    print()
+    print(render_bucket_table(
+        stats, "low",
+        "Fig. 2: % low-precision inputs per *sensitive* output (DRQ 8-4)"))
+    print()
+    print(render_scalar_chart(
+        stats, "precision_loss_sensitive",
+        "Fig. 3: DRQ precision loss on sensitive outputs"))
+    print()
+    print(render_bucket_table(
+        stats, "high",
+        "Fig. 4: % high-precision inputs per *insensitive* output (DRQ 8-4)"))
+    print()
+    print(render_scalar_chart(
+        stats, "extra_precision_insensitive",
+        "Fig. 5: extra precision (Eq. 1) wasted on insensitive outputs"))
+
+    worst = max(s.precision_loss_sensitive for s in stats)
+    print(
+        f"\nTakeaway: DRQ leaks up to {worst:.3f} of precision loss into "
+        "sensitive outputs while still spending high-precision MACs on "
+        "insensitive ones — the gap ODQ's output-directed prediction closes."
+    )
+
+
+if __name__ == "__main__":
+    main()

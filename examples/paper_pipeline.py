@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Drive the full paper pipeline through the experiment workbench.
+
+The :class:`repro.analysis.workbench.Workbench` is what the benchmark
+harness uses internally: it trains/caches models, runs the adaptive
+threshold search (with the paper's retraining step), and builds the
+ODQ-retrained twins.  This example uses it directly to regenerate the
+ResNet-20 column of Figures 18/19/21 in one go, then saves the mask dump
+so the simulation stage can be re-run standalone:
+
+    python examples/paper_pipeline.py
+    python -m repro simulate resnet20_masks.npz
+
+Set REPRO_SCALE=default for paper-sized models/images (much slower).
+"""
+
+from repro.accel.dump import save_workloads
+from repro.accel.simulator import workloads_from_records
+from repro.analysis.accuracy import compare_accuracy, render_fig18
+from repro.analysis.precision_loss import per_layer_precision_loss, render_precision_loss
+from repro.analysis.performance import compare_accelerators, render_fig19, render_fig21
+from repro.analysis.workbench import Workbench
+from repro.core.pipeline import run_scheme
+from repro.core.schemes import odq_scheme
+
+
+def main() -> None:
+    wb = Workbench()
+    ds = wb.dataset("cifar10")
+
+    print("== training / threshold search (cached within this process) ==")
+    tm = wb.trained_model("resnet20", "cifar10")
+    theta = wb.odq_threshold("resnet20", "cifar10")
+    odq_model = wb.odq_model("resnet20", "cifar10")
+    print(f"FP32 test accuracy: {100 * tm.fp_accuracy:.1f}%")
+    print(f"adaptive threshold (Table 3 entry): {theta:.4f}")
+
+    calib = wb.calibration_batch("cifar10")
+
+    print("\n== Fig. 18 (accuracy) ==")
+    acc_cmp = compare_accuracy(
+        tm.model, "resnet20", "cifar10", calib, ds.x_test, ds.y_test,
+        theta, odq_model=odq_model,
+    )
+    print(render_fig18([acc_cmp]))
+
+    print("\n== Figs. 19/21 (execution time & energy) ==")
+    perf_cmp = compare_accelerators(
+        tm.model, "resnet20", calib, ds.x_test[:64], ds.y_test[:64],
+        theta, odq_model=odq_model,
+    )
+    print(render_fig19([perf_cmp]))
+    print()
+    print(render_fig21([perf_cmp]))
+
+    print("\n== Section 6.1: per-layer precision loss (ODQ vs DRQ 4-2) ==")
+    rows = per_layer_precision_loss(
+        tm.model, calib, ds.x_test[:16], theta, odq_model=odq_model
+    )
+    print(render_precision_loss(rows, "Precision loss on sensitive outputs"))
+
+    print("\n== mask dump (Section 5.2 hand-off) ==")
+    _, records = run_scheme(
+        odq_model, odq_scheme(theta), calib, ds.x_test[:32], ds.y_test[:32]
+    )
+    path = save_workloads("resnet20_masks.npz", workloads_from_records(records))
+    print(f"wrote {path} — replay with: python -m repro simulate {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Adaptive threshold search (paper Section 3 + Table 3 + Figure 22).
+
+Reproduces the paper's procedure on a small ResNet-20:
+
+* pick a "relatively large" starting threshold from the distribution of
+  the predictor's partial outputs;
+* retrain the network with the threshold in the loop, evaluate, and keep
+  halving until accuracy is within tolerance of full precision;
+* sweep a threshold range to draw the Fig.-22 accuracy-vs-INT2 tradeoff.
+
+Run:  python examples/threshold_search.py
+"""
+
+import numpy as np
+
+from repro.analysis.sensitivity import render_table3, render_threshold_sweep
+from repro.core.threshold import (
+    adaptive_threshold_search,
+    initial_threshold,
+    threshold_sweep,
+)
+from repro.data import synthetic_cifar10
+from repro.models import resnet20
+from repro.nn import SGD, Trainer
+
+
+def main() -> None:
+    ds = synthetic_cifar10(
+        num_train=320, num_test=96, image_size=16, noise=0.12, max_shift=1, seed=7
+    )
+    model = resnet20(scale=0.25, rng=np.random.default_rng(5))
+    trainer = Trainer(
+        model,
+        SGD(model.parameters(), lr=0.05, momentum=0.9),
+        batch_size=32,
+        rng=np.random.default_rng(5),
+    )
+    print("training ResNet-20 ...")
+    trainer.fit(ds.x_train, ds.y_train, ds.x_test, ds.y_test, epochs=6)
+    model.eval()
+    calib = ds.x_train[:48]
+    finetune = dict(
+        x_train=ds.x_train, y_train=ds.y_train,
+        x_test=ds.x_test, y_test=ds.y_test,
+        epochs=3, lr=0.01, rng=np.random.default_rng(9),
+    )
+
+    theta0 = initial_threshold(model, calib)
+    print(f"\ninitial threshold from predictor-output distribution: {theta0:.4f}")
+
+    print("\nadaptive halving search (each candidate retrains the model):")
+    result = adaptive_threshold_search(
+        model, calib, ds.x_test, ds.y_test,
+        max_accuracy_drop=0.05, start_threshold=theta0,
+        max_halvings=4, finetune=finetune,
+    )
+    for theta, acc in result.trace:
+        marker = " <= selected" if theta == result.threshold else ""
+        print(f"  theta = {theta:8.4f}   ODQ top-1 = {100 * acc:5.1f}%{marker}")
+    print(
+        f"converged: {result.converged}; FP32 baseline "
+        f"{100 * result.baseline_accuracy:.1f}%, drop "
+        f"{100 * result.accuracy_drop:.1f} points"
+    )
+    print("\n" + render_table3({"resnet20": result.threshold}))
+
+    print("\nFig.-22 style sweep:")
+    points = threshold_sweep(
+        model, calib, ds.x_test, ds.y_test,
+        thresholds=[0.05, 0.15, 0.3, 0.6, 1.0],
+        finetune=finetune,
+    )
+    print(render_threshold_sweep(points, "Threshold analysis (ResNet-20)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""DoReFa quantization-aware training of VGG-16 + full scheme comparison.
+
+Demonstrates the second training path the paper relies on: DoReFa-Net
+fake-quant training (STE), followed by the Fig.-18 scheme comparison on
+the resulting network, including the ODQ retraining step.
+
+Run:  python examples/train_quantized_vgg.py
+"""
+
+import copy
+
+import numpy as np
+
+from repro.analysis.accuracy import compare_accuracy, render_fig18
+from repro.core import finetune_odq
+from repro.data import synthetic_cifar10
+from repro.models import vgg16
+from repro.nn import SGD, Trainer
+from repro.quant import quantize_model_inplace
+
+THRESHOLD = 0.3
+
+
+def main() -> None:
+    ds = synthetic_cifar10(
+        num_train=320, num_test=96, image_size=16, noise=0.12, max_shift=1, seed=7
+    )
+
+    print("== DoReFa 4-bit quantization-aware training of VGG-16 ==")
+    model = vgg16(scale=0.25, rng=np.random.default_rng(11))
+    quantize_model_inplace(model, w_bits=4, a_bits=4)
+    trainer = Trainer(
+        model,
+        SGD(model.parameters(), lr=0.05, momentum=0.9),
+        batch_size=32,
+        rng=np.random.default_rng(11),
+        verbose=True,
+    )
+    trainer.fit(ds.x_train, ds.y_train, ds.x_test, ds.y_test, epochs=6)
+    model.eval()
+
+    print("\n== ODQ retraining (threshold in the loop) ==")
+    odq_model = copy.deepcopy(model)
+    finetune_odq(
+        odq_model, THRESHOLD,
+        ds.x_train, ds.y_train, ds.x_test, ds.y_test,
+        epochs=3, lr=0.005, rng=np.random.default_rng(12),
+    )
+    odq_model.eval()
+
+    print("\n== Fig.-18 style comparison ==")
+    comparison = compare_accuracy(
+        model, "vgg16", "cifar10-syn",
+        ds.x_train[:48], ds.x_test, ds.y_test,
+        THRESHOLD, odq_model=odq_model,
+    )
+    print(render_fig18([comparison]))
+
+
+if __name__ == "__main__":
+    main()

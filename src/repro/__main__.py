@@ -1,0 +1,106 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print package version, experiment scale, and paper constants.
+``table1`` / ``table2``
+    Print the analytic accelerator tables (instant, no training).
+``simulate <dump.npz>``
+    Run a saved mask dump (see ``repro.accel.dump``) through the four
+    Table-2 accelerator models and print normalized time/energy.
+``quickstart``
+    Run the end-to-end quickstart (train, ODQ-retrain, quantize, simulate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_info(_args) -> int:
+    import repro
+    from repro.analysis.workbench import scale_from_env
+    from repro.config import PAPER_THRESHOLDS
+
+    print(f"repro {repro.__version__} — ODQ (ICPP 2023) reproduction")
+    print(f"experiment scale: {scale_from_env()}")
+    print(f"paper thresholds (Table 3): {PAPER_THRESHOLDS}")
+    return 0
+
+
+def _cmd_table1(_args) -> int:
+    from repro.analysis.performance import render_table1
+
+    print(render_table1())
+    return 0
+
+
+def _cmd_table2(_args) -> int:
+    from repro.analysis.performance import render_table2
+
+    print(render_table2())
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.accel.dump import load_workloads
+    from repro.accel.simulator import build_accelerator
+    from repro.utils.report import ascii_table
+
+    workloads = load_workloads(args.dump)
+    print(f"loaded {len(workloads)} layer workloads from {args.dump}")
+    sims = {name: build_accelerator(name).simulate(workloads)
+            for name in ("INT16", "INT8", "DRQ", "ODQ")}
+    ref = sims["INT16"]
+    rows = [
+        [
+            name,
+            f"{sim.total_cycles:,.0f}",
+            f"{sim.normalized_time(ref):.4f}",
+            f"{sim.normalized_energy(ref):.4f}",
+        ]
+        for name, sim in sims.items()
+    ]
+    print(ascii_table(["accelerator", "cycles", "norm. time", "norm. energy"], rows))
+    return 0
+
+
+def _cmd_quickstart(_args) -> int:
+    import pathlib
+    import runpy
+
+    script = pathlib.Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+    if script.exists():
+        runpy.run_path(str(script), run_name="__main__")
+        return 0
+    print("examples/quickstart.py not found (installed without the repo checkout)")
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ODQ (ICPP 2023) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="package and experiment-scale info")
+    sub.add_parser("table1", help="print Table 1 (PE allocation frontier)")
+    sub.add_parser("table2", help="print Table 2 (accelerator configs)")
+    p_sim = sub.add_parser("simulate", help="simulate a saved mask dump")
+    p_sim.add_argument("dump", help="path to a .npz mask dump")
+    sub.add_parser("quickstart", help="run the end-to-end quickstart example")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "table1": _cmd_table1,
+        "table2": _cmd_table2,
+        "simulate": _cmd_simulate,
+        "quickstart": _cmd_quickstart,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

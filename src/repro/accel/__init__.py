@@ -1,0 +1,100 @@
+"""Cycle-approximate model of the reconfigurable ODQ accelerator and the
+Table-2 comparison designs."""
+
+from repro.accel.pe import (
+    PERole,
+    bitfusion_mac_cycles,
+    PETiming,
+    DEFAULT_TIMING,
+    AREA_BUDGET_MM2,
+    pe_area_mm2,
+    pes_in_budget,
+)
+from repro.accel.alloc import (
+    PEAllocation,
+    max_sensitive_fraction,
+    table1_configurations,
+    choose_allocation,
+    IdleStats,
+    idle_fractions,
+)
+from repro.accel.schedule import (
+    ScheduleResult,
+    static_schedule,
+    ideal_dynamic_schedule,
+    candidate_sets,
+    odq_dynamic_schedule,
+)
+from repro.accel.memory import (
+    MemoryConfig,
+    LayerTraffic,
+    conv_layer_traffic,
+    memory_cycles,
+    DEFAULT_MEMORY,
+)
+from repro.accel.energy import (
+    EnergyModel,
+    EnergyBreakdown,
+    DEFAULT_ENERGY,
+    MAC_CLASS_BITS,
+    mac_energy_pj,
+)
+from repro.accel.configs import TABLE2, accelerator_for_scheme
+from repro.accel.dump import save_workloads, load_workloads
+from repro.accel.simulator import (
+    LayerWorkload,
+    LayerSimResult,
+    SimResult,
+    AcceleratorModel,
+    Int16Accelerator,
+    Int8Accelerator,
+    DRQAccelerator,
+    ODQAccelerator,
+    workloads_from_records,
+    build_accelerator,
+)
+
+__all__ = [
+    "PERole",
+    "bitfusion_mac_cycles",
+    "PETiming",
+    "DEFAULT_TIMING",
+    "AREA_BUDGET_MM2",
+    "pe_area_mm2",
+    "pes_in_budget",
+    "PEAllocation",
+    "max_sensitive_fraction",
+    "table1_configurations",
+    "choose_allocation",
+    "IdleStats",
+    "idle_fractions",
+    "ScheduleResult",
+    "static_schedule",
+    "ideal_dynamic_schedule",
+    "candidate_sets",
+    "odq_dynamic_schedule",
+    "MemoryConfig",
+    "LayerTraffic",
+    "conv_layer_traffic",
+    "memory_cycles",
+    "DEFAULT_MEMORY",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "DEFAULT_ENERGY",
+    "MAC_CLASS_BITS",
+    "mac_energy_pj",
+    "TABLE2",
+    "save_workloads",
+    "load_workloads",
+    "accelerator_for_scheme",
+    "LayerWorkload",
+    "LayerSimResult",
+    "SimResult",
+    "AcceleratorModel",
+    "Int16Accelerator",
+    "Int8Accelerator",
+    "DRQAccelerator",
+    "ODQAccelerator",
+    "workloads_from_records",
+    "build_accelerator",
+]

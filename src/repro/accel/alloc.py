@@ -1,0 +1,164 @@
+"""PE-array allocation between sensitivity predictor and result executor.
+
+Implements Section 4.2: a PE slice holds 27 PE arrays — 9 fixed predictor,
+6 fixed executor, and 12 reconfigurable arrays that can be assigned to
+either side.  The pipeline is bubble-free when the executor keeps up with
+the predictor:
+
+    T_pred = W / p          (every output needs one predictor pass, 1 cycle/MAC)
+    T_exec = 3 * s * W / e  (sensitive fraction s needs 3 more cycles/MAC)
+
+    bubble-free  <=>  s <= e / (3 p)
+
+which reproduces the paper's Table 1 exactly.  Static allocation fixes
+(p, e) for the whole network (Fig. 11's 14-50 % idle PEs); dynamic
+allocation re-balances per layer from the predictor's measured sensitive
+fraction (Fig. 20's <= ~18 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import (
+    EXECUTOR_MAC_CYCLES,
+    PREDICTOR_MAC_CYCLES,
+    SLICE_FIXED_EXECUTOR_ARRAYS,
+    SLICE_FIXED_PREDICTOR_ARRAYS,
+    SLICE_RECONFIGURABLE_ARRAYS,
+    SLICE_TOTAL_ARRAYS,
+)
+
+
+@dataclass(frozen=True)
+class PEAllocation:
+    """A (predictor, executor) split of the slice's 27 PE arrays."""
+
+    predictor_arrays: int
+    executor_arrays: int
+
+    def __post_init__(self):
+        if self.predictor_arrays < SLICE_FIXED_PREDICTOR_ARRAYS:
+            raise ValueError(
+                f"predictor needs >= {SLICE_FIXED_PREDICTOR_ARRAYS} fixed arrays"
+            )
+        if self.executor_arrays < SLICE_FIXED_EXECUTOR_ARRAYS:
+            raise ValueError(
+                f"executor needs >= {SLICE_FIXED_EXECUTOR_ARRAYS} fixed arrays"
+            )
+        if self.predictor_arrays + self.executor_arrays != SLICE_TOTAL_ARRAYS:
+            raise ValueError(f"allocation must use all {SLICE_TOTAL_ARRAYS} arrays")
+
+    @property
+    def max_sensitive_fraction(self) -> float:
+        """Largest sensitive-output fraction served without pipeline bubbles."""
+        return max_sensitive_fraction(self.predictor_arrays, self.executor_arrays)
+
+    def __str__(self) -> str:
+        return f"P{self.predictor_arrays}/E{self.executor_arrays}"
+
+
+def max_sensitive_fraction(
+    predictor_arrays: int,
+    executor_arrays: int,
+    predictor_cycles: int = PREDICTOR_MAC_CYCLES,
+    executor_cycles: int = EXECUTOR_MAC_CYCLES,
+) -> float:
+    """Balance condition ``s* = (e/p) * (c_pred / c_exec)`` (Table 1)."""
+    if predictor_arrays <= 0 or executor_arrays <= 0:
+        raise ValueError("array counts must be positive")
+    return (executor_arrays * predictor_cycles) / (
+        predictor_arrays * executor_cycles
+    )
+
+
+def table1_configurations(step: int = 3) -> list[PEAllocation]:
+    """The five reconfigurable splits of the paper's Table 1.
+
+    The 12 reconfigurable arrays move between sides in units of one
+    executor cluster's width (3 arrays), giving predictor counts
+    9, 12, 15, 18, 21.
+    """
+    configs = []
+    for extra in range(0, SLICE_RECONFIGURABLE_ARRAYS + 1, step):
+        p = SLICE_FIXED_PREDICTOR_ARRAYS + extra
+        e = SLICE_TOTAL_ARRAYS - p
+        configs.append(PEAllocation(p, e))
+    return configs
+
+
+def choose_allocation(
+    sensitive_fraction: float, configs: list[PEAllocation] | None = None
+) -> PEAllocation:
+    """Dynamic allocation rule: most predictor-heavy bubble-free config.
+
+    Picks the configuration with the largest predictor share whose
+    ``max_sensitive_fraction`` still covers the measured fraction — the
+    paper's example: 15 % sensitive -> predictor 18 / executor 9.  If even
+    the most executor-heavy config cannot cover (s > 66 %), that config is
+    returned and the predictor side will stall (modelled by
+    :func:`idle_fractions`).
+    """
+    if not 0.0 <= sensitive_fraction <= 1.0:
+        raise ValueError("sensitive_fraction must be in [0, 1]")
+    configs = configs or table1_configurations()
+    feasible = [c for c in configs if c.max_sensitive_fraction >= sensitive_fraction]
+    if not feasible:
+        return max(configs, key=lambda c: c.max_sensitive_fraction)
+    return max(feasible, key=lambda c: c.predictor_arrays)
+
+
+@dataclass(frozen=True)
+class IdleStats:
+    """Idle-PE accounting for one layer under one allocation."""
+
+    predictor_idle_fraction: float
+    executor_idle_fraction: float
+    predictor_arrays: int
+    executor_arrays: int
+    cycles: float  # makespan in units of W/array-throughput
+
+    @property
+    def overall_idle_fraction(self) -> float:
+        """Idle share over all PE arrays in the slice (the Fig. 11/20 metric)."""
+        total = self.predictor_arrays + self.executor_arrays
+        return (
+            self.predictor_arrays * self.predictor_idle_fraction
+            + self.executor_arrays * self.executor_idle_fraction
+        ) / total
+
+
+def idle_fractions(
+    sensitive_fraction: float,
+    alloc: PEAllocation,
+    predictor_cycles: int = PREDICTOR_MAC_CYCLES,
+    executor_cycles: int = EXECUTOR_MAC_CYCLES,
+) -> IdleStats:
+    """Idle time of each side when a layer with sensitivity ``s`` runs.
+
+    The side that finishes first waits for the other; its idle fraction is
+    one minus the ratio of its busy time to the makespan.
+    """
+    if not 0.0 <= sensitive_fraction <= 1.0:
+        raise ValueError("sensitive_fraction must be in [0, 1]")
+    p, e = alloc.predictor_arrays, alloc.executor_arrays
+    t_pred = predictor_cycles / p
+    t_exec = executor_cycles * sensitive_fraction / e
+    makespan = max(t_pred, t_exec)
+    return IdleStats(
+        predictor_idle_fraction=1.0 - t_pred / makespan,
+        executor_idle_fraction=1.0 - t_exec / makespan if makespan > 0 else 0.0,
+        predictor_arrays=p,
+        executor_arrays=e,
+        cycles=makespan,
+    )
+
+
+__all__ = [
+    "PEAllocation",
+    "max_sensitive_fraction",
+    "table1_configurations",
+    "choose_allocation",
+    "IdleStats",
+    "idle_fractions",
+]

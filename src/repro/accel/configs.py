@@ -1,0 +1,44 @@
+"""Accelerator configurations (the paper's Table 2) and scheme mapping."""
+
+from __future__ import annotations
+
+from repro.config import (
+    ACCEL_DRQ,
+    ACCEL_INT8,
+    ACCEL_INT16,
+    ACCEL_ODQ,
+    AcceleratorSpec,
+)
+
+#: Table 2, keyed by accelerator name.
+TABLE2: dict[str, AcceleratorSpec] = {
+    "INT16": ACCEL_INT16,
+    "INT8": ACCEL_INT8,
+    "DRQ": ACCEL_DRQ,
+    "ODQ": ACCEL_ODQ,
+}
+
+#: Which accelerator executes which quantization scheme kind.
+SCHEME_TO_ACCELERATOR: dict[str, str] = {
+    "static16": "INT16",
+    "static8": "INT8",
+    "drq": "DRQ",
+    "odq": "ODQ",
+}
+
+
+def accelerator_for_scheme(scheme_name: str) -> AcceleratorSpec:
+    """Resolve the Table-2 accelerator that runs a given scheme."""
+    name = scheme_name.lower()
+    if name.startswith("int16"):
+        return ACCEL_INT16
+    if name.startswith("int8"):
+        return ACCEL_INT8
+    if name.startswith("drq"):
+        return ACCEL_DRQ
+    if name.startswith("odq"):
+        return ACCEL_ODQ
+    raise KeyError(f"no accelerator mapped for scheme {scheme_name!r}")
+
+
+__all__ = ["TABLE2", "SCHEME_TO_ACCELERATOR", "accelerator_for_scheme"]

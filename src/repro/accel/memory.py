@@ -1,0 +1,115 @@
+"""On-chip buffering and DRAM traffic model.
+
+Models the memory system of Fig. 12: a global weight/input buffer that
+hides DRAM latency, line buffers that let one input row feed many weight
+filters (the Im2col/Pack engine's data reuse), and an output buffer.
+
+Cycle impact follows a roofline rule: a layer's memory-bound time is its
+DRAM traffic divided by bandwidth; the simulator takes
+``max(compute_cycles, memory_cycles)``.  Section 4.1's bandwidth
+discussion is captured by the executor's reuse factor: sensitive outputs
+are scattered, so executor traffic enjoys far less line-buffer reuse than
+the dense predictor pass — the paper mitigates (not eliminates) this with
+three executor clusters taking turns issuing requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import EXECUTOR_CLUSTERS
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Memory-system parameters shared by all Table-2 accelerators."""
+
+    onchip_bytes: int = int(0.17 * 2**20)
+    dram_bandwidth_bytes_per_cycle: float = 16.0
+    #: Dense-dataflow reuse: each input byte fetched once serves this many
+    #: MACs thanks to line buffers + weight-stationary reuse.
+    dense_reuse: float = 64.0
+    #: Reuse available to the sparse executor pass without clustering.
+    sparse_reuse: float = 4.0
+
+    def executor_reuse(self, clusters: int = EXECUTOR_CLUSTERS) -> float:
+        """Effective reuse of the clustered executor (Section 4.3).
+
+        Splitting the executor into ``clusters`` request groups lets one
+        line-buffer fill serve each cluster in turn, multiplying the
+        sparse reuse factor.
+        """
+        return self.sparse_reuse * max(1, clusters)
+
+
+@dataclass(frozen=True)
+class LayerTraffic:
+    """DRAM byte counts for one layer pass."""
+
+    weight_bytes: float
+    input_bytes: float
+    output_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.weight_bytes + self.input_bytes + self.output_bytes
+
+
+def conv_layer_traffic(
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+    out_h: int,
+    out_w: int,
+    images: int,
+    weight_bits: int,
+    act_bits: int,
+    reuse: float,
+    mem: MemoryConfig,
+    stride: int = 1,
+) -> LayerTraffic:
+    """Estimate DRAM traffic for one convolution layer.
+
+    Weights stream in once if they fit the on-chip buffer, otherwise once
+    per buffer-sized tile of the output.  Feature maps that fit next to
+    the weights in on-chip SRAM stay resident between layers (the usual
+    CIFAR-scale regime — this is what the paper's global buffer is for)
+    and cost no DRAM traffic; larger maps pay the im2col volume divided
+    by the line-buffer reuse factor, and their outputs spill to DRAM.
+    """
+    weight_count = out_channels * in_channels * kernel * kernel
+    weight_bytes = weight_count * weight_bits / 8.0
+    if weight_bytes > mem.onchip_bytes:
+        # Tiled execution refetches weights per tile.
+        weight_bytes *= -(-weight_bytes // mem.onchip_bytes)
+
+    raw_in_bytes = images * in_channels * (out_h * stride) * (out_w * stride) * act_bits / 8.0
+    raw_out_bytes = images * out_h * out_w * out_channels * act_bits / 8.0
+    resident_budget = max(mem.onchip_bytes - min(weight_bytes, mem.onchip_bytes), 0)
+
+    if raw_in_bytes + raw_out_bytes <= resident_budget:
+        # Both maps live on-chip; only a streaming trickle (model: 10% of
+        # the raw input, covering batch turnover) touches DRAM.
+        input_bytes = 0.1 * raw_in_bytes
+        output_bytes = 0.1 * raw_out_bytes
+    else:
+        im2col_volume = images * out_h * out_w * in_channels * kernel * kernel
+        input_bytes = im2col_volume * act_bits / 8.0 / max(reuse, 1.0)
+        output_bytes = raw_out_bytes
+    return LayerTraffic(weight_bytes, input_bytes, output_bytes)
+
+
+def memory_cycles(traffic: LayerTraffic, mem: MemoryConfig) -> float:
+    """Cycles to move a layer's DRAM traffic at the configured bandwidth."""
+    return traffic.total_bytes / mem.dram_bandwidth_bytes_per_cycle
+
+
+DEFAULT_MEMORY = MemoryConfig()
+
+__all__ = [
+    "MemoryConfig",
+    "LayerTraffic",
+    "conv_layer_traffic",
+    "memory_cycles",
+    "DEFAULT_MEMORY",
+]

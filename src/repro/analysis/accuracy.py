@@ -1,0 +1,119 @@
+"""Accuracy comparison across quantization schemes (Figure 18).
+
+For each (model, dataset) the five schemes of the paper are evaluated:
+INT16 and INT8 static DoReFa, DRQ 8-4, DRQ 4-2, and ODQ 4-2, alongside
+the FP32 reference, plus the share of high-precision (INT4/INT8) output
+computation each dynamic scheme performed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pipeline import run_scheme
+from repro.core.schemes import drq_scheme, fp32_scheme, odq_scheme, static_scheme
+from repro.nn.layers import Module
+from repro.utils.report import ascii_table
+
+
+@dataclass
+class AccuracyRow:
+    """One scheme's Fig.-18 entry."""
+
+    scheme: str
+    accuracy: float
+    high_precision_share: float  # share of outputs/inputs computed at hi bits
+
+
+@dataclass
+class AccuracyComparison:
+    model_name: str
+    dataset_name: str
+    rows: list[AccuracyRow] = field(default_factory=list)
+
+    def get(self, scheme: str) -> AccuracyRow:
+        for row in self.rows:
+            if row.scheme == scheme:
+                return row
+        raise KeyError(scheme)
+
+    @property
+    def odq_drop_vs_drq84(self) -> float:
+        """The paper's headline <= 0.6% degradation metric."""
+        return self.get("DRQ 8-4").accuracy - self.get("ODQ 4-2").accuracy
+
+    @property
+    def drq42_drop_vs_fp(self) -> float:
+        """DRQ's low-bitwidth failure (paper: 2.5-10%)."""
+        return self.get("FP32").accuracy - self.get("DRQ 4-2").accuracy
+
+
+def compare_accuracy(
+    model: Module,
+    model_name: str,
+    dataset_name: str,
+    x_calib: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    odq_threshold: float,
+    odq_model: Module | None = None,
+) -> AccuracyComparison:
+    """Evaluate the Fig.-18 scheme set on one trained model.
+
+    ``odq_model`` is the ODQ-retrained twin (threshold introduced during
+    training, per paper Section 3); when omitted, the base model is used
+    for the ODQ row too.
+    """
+    comparison = AccuracyComparison(model_name, dataset_name)
+    plan = [
+        ("FP32", fp32_scheme()),
+        ("INT16", static_scheme(16)),
+        ("INT8", static_scheme(8)),
+        ("DRQ 8-4", drq_scheme(8, 4)),
+        ("DRQ 4-2", drq_scheme(4, 2)),
+        ("ODQ 4-2", odq_scheme(odq_threshold)),
+    ]
+    for name, scheme in plan:
+        target = odq_model if (scheme.kind == "odq" and odq_model is not None) else model
+        acc, records = run_scheme(target, scheme, x_calib, x_test, y_test)
+        if scheme.kind == "odq":
+            total = sum(r.outputs_total for r in records.values())
+            hi = sum(r.sensitive_total for r in records.values())
+            share = hi / total if total else 0.0
+        elif scheme.kind == "drq":
+            hi = sum(r.macs.get("drq_hi", 0) for r in records.values())
+            total = hi + sum(r.macs.get("drq_lo", 0) for r in records.values())
+            share = hi / total if total else 0.0
+        elif scheme.kind == "static":
+            share = 1.0
+        else:
+            share = 1.0
+        comparison.rows.append(AccuracyRow(name, acc, share))
+    return comparison
+
+
+def render_fig18(comparisons: list[AccuracyComparison]) -> str:
+    headers = ["model", "dataset", "scheme", "top-1 acc", "hi-precision share"]
+    rows = []
+    for c in comparisons:
+        for row in c.rows:
+            rows.append(
+                [
+                    c.model_name,
+                    c.dataset_name,
+                    row.scheme,
+                    f"{100 * row.accuracy:.1f}%",
+                    f"{100 * row.high_precision_share:.1f}%",
+                ]
+            )
+    return ascii_table(headers, rows, title="Fig. 18: accuracy vs quantization scheme")
+
+
+__all__ = [
+    "AccuracyRow",
+    "AccuracyComparison",
+    "compare_accuracy",
+    "render_fig18",
+]

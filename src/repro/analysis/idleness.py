@@ -1,0 +1,93 @@
+"""PE-idleness studies: Figure 11 (static allocation) and Figure 20 (ODQ).
+
+Both figures plot, per conv layer, the share of idle PEs.  The inputs are
+the per-layer sensitive-output fractions measured by the ODQ predictor;
+the allocation model of :mod:`repro.accel.alloc` turns them into idle
+shares for a fixed (static) split and for the Table-1 dynamic scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.alloc import (
+    PEAllocation,
+    choose_allocation,
+    idle_fractions,
+)
+from repro.analysis.sensitivity import LayerSensitivity
+from repro.utils.report import ascii_table
+
+
+@dataclass
+class LayerIdle:
+    """Idle-PE shares for one layer under one allocation policy."""
+
+    layer: str
+    predictor_idle: float
+    executor_idle: float
+    overall_idle: float
+    allocation: str
+
+
+def static_allocation_idleness(
+    layers: list[LayerSensitivity], alloc: PEAllocation
+) -> list[LayerIdle]:
+    """Fig. 11: idle PEs when (p, e) is fixed for the whole network."""
+    out = []
+    for l in layers:
+        stats = idle_fractions(l.sensitive_fraction, alloc)
+        out.append(
+            LayerIdle(
+                layer=l.layer,
+                predictor_idle=stats.predictor_idle_fraction,
+                executor_idle=stats.executor_idle_fraction,
+                overall_idle=stats.overall_idle_fraction,
+                allocation=str(alloc),
+            )
+        )
+    return out
+
+
+def dynamic_allocation_idleness(
+    layers: list[LayerSensitivity],
+) -> list[LayerIdle]:
+    """Fig. 20: idle PEs when the Table-1 config is re-chosen per layer."""
+    out = []
+    for l in layers:
+        alloc = choose_allocation(l.sensitive_fraction)
+        stats = idle_fractions(l.sensitive_fraction, alloc)
+        out.append(
+            LayerIdle(
+                layer=l.layer,
+                predictor_idle=stats.predictor_idle_fraction,
+                executor_idle=stats.executor_idle_fraction,
+                overall_idle=stats.overall_idle_fraction,
+                allocation=str(alloc),
+            )
+        )
+    return out
+
+
+def render_idleness(rows: list[LayerIdle], title: str) -> str:
+    table = [
+        [
+            f"C{i + 1}",
+            r.allocation,
+            f"{100 * r.predictor_idle:.1f}%",
+            f"{100 * r.executor_idle:.1f}%",
+            f"{100 * r.overall_idle:.1f}%",
+        ]
+        for i, r in enumerate(rows)
+    ]
+    return ascii_table(
+        ["layer", "alloc", "Pre_idle", "Exe_idle", "overall"], table, title=title
+    )
+
+
+__all__ = [
+    "LayerIdle",
+    "static_allocation_idleness",
+    "dynamic_allocation_idleness",
+    "render_idleness",
+]

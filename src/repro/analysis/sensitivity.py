@@ -1,0 +1,94 @@
+"""Output-sensitivity analyses: Figures 9, 10, 22 and Table 3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import QuantizedInferenceEngine
+from repro.core.schemes import odq_scheme
+from repro.core.threshold import (
+    ThresholdSweepPoint,
+    adaptive_threshold_search,
+    threshold_sweep,
+)
+from repro.nn.layers import Module
+from repro.utils.report import ascii_bar_chart, ascii_table
+
+
+@dataclass
+class LayerSensitivity:
+    """Per-layer sensitive/insensitive split under ODQ."""
+
+    layer: str
+    insensitive_fraction: float
+    sensitive_fraction: float
+    outputs: int
+
+
+def per_layer_insensitivity(
+    model: Module,
+    x_calib: np.ndarray,
+    x_eval: np.ndarray,
+    threshold: float,
+) -> list[LayerSensitivity]:
+    """Figures 9/10: % insensitive output features per conv layer."""
+    engine = QuantizedInferenceEngine(model, odq_scheme(threshold))
+    try:
+        engine.calibrate(x_calib)
+        engine.forward(x_eval)
+        out = []
+        for name, rec in engine.records.items():
+            out.append(
+                LayerSensitivity(
+                    layer=name,
+                    insensitive_fraction=rec.insensitive_fraction,
+                    sensitive_fraction=rec.sensitive_fraction,
+                    outputs=rec.outputs_total,
+                )
+            )
+        return out
+    finally:
+        engine.restore()
+
+
+def render_insensitivity_chart(
+    layers: list[LayerSensitivity], title: str
+) -> str:
+    labels = [f"C{i + 1}" for i in range(len(layers))]
+    values = [100.0 * l.insensitive_fraction for l in layers]
+    return ascii_bar_chart(labels, values, title=title, fmt="{:.1f}%")
+
+
+def render_threshold_sweep(points: list[ThresholdSweepPoint], title: str) -> str:
+    """Fig. 22: accuracy and INT4/INT2 mix vs threshold."""
+    rows = [
+        [
+            f"{p.threshold:.3f}",
+            f"{100 * p.accuracy:.1f}%",
+            f"{100 * p.sensitive_fraction:.1f}%",
+            f"{100 * p.insensitive_fraction:.1f}%",
+        ]
+        for p in points
+    ]
+    return ascii_table(
+        ["threshold", "top-1 acc", "INT4 outputs", "INT2 outputs"], rows, title=title
+    )
+
+
+def render_table3(thresholds: dict[str, float]) -> str:
+    """Table 3: per-model thresholds chosen by the adaptive search."""
+    rows = [[name, f"{theta:.4g}"] for name, theta in thresholds.items()]
+    return ascii_table(["NN Model", "Threshold"], rows, title="Table 3: thresholds")
+
+
+__all__ = [
+    "LayerSensitivity",
+    "per_layer_insensitivity",
+    "render_insensitivity_chart",
+    "render_threshold_sweep",
+    "render_table3",
+    "threshold_sweep",
+    "adaptive_threshold_search",
+]

@@ -1,0 +1,296 @@
+"""Output-Directed Dynamic Quantization — the paper's core contribution.
+
+The two-step, single-shot scheme of Section 3:
+
+* **Sensitivity prediction.**  Inputs and weights are quantized to INT4
+  and split into 2-bit high/low planes.  The predictor convolves only the
+  high planes (``I_HBS * W_HBS``, the dominant Eq.-3 term, shifted left by
+  ``2*N_LBS``), dequantizes, and thresholds the magnitude to produce a
+  sensitivity bit mask over output features.
+* **Result generation.**  For predicted-sensitive outputs only, the three
+  remaining cross terms of Eq. 3 are computed and added, yielding the
+  exact INT4xINT4 result.  Insensitive outputs keep the predictor's cheap
+  partial value ("ODQ produces the final output [by] adding the results
+  from both the sensitivity predictor and the result executor").
+
+The executor here is numerically faithful: the value returned for a
+sensitive output equals a full INT4 static-quantization conv, and the
+value for an insensitive output equals the HBS-only partial — tests
+verify both identities term-by-term against
+:func:`repro.quant.bitsplit.cross_terms`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ODQ_LOW_BITS, ODQ_TOTAL_BITS
+from repro.core.base import ConvExecutor, int_conv2d
+from repro.core.masks import SensitivityMask, mask_from_magnitude
+from repro.nn.layers import Conv2d
+from repro.quant.bitsplit import split_planes
+from repro.quant.observer import MinMaxObserver, Observer
+from repro.quant.uniform import QParams, affine_qparams, quantize, symmetric_qparams
+from repro.utils.im2col import pad_nchw
+
+
+def odq_weight_qparams(
+    w: np.ndarray, total_bits: int, percentile: float = 97.0
+) -> QParams:
+    """Weight quantizer for ODQ: symmetric, percentile-clipped scale.
+
+    DoReFa training (which the paper builds on) spreads weights uniformly
+    over the quantized levels, so their high-order 2 bits carry signal.
+    Post-training max-abs scaling does not — outlier weights inflate the
+    scale until nearly every weight quantizes into [-3, 3], whose
+    sign-magnitude high plane is 0 and the predictor goes blind.
+    Clipping the scale at a high percentile of |w| restores level
+    occupancy (saturating only the outlier tail), which is the
+    post-training analog of DoReFa's weight transform.
+    """
+    if not 50.0 < percentile <= 100.0:
+        raise ValueError("percentile must be in (50, 100]")
+    if percentile >= 100.0:
+        scale_src = float(np.max(np.abs(w)))
+    else:
+        scale_src = float(np.percentile(np.abs(w), percentile))
+    return symmetric_qparams(max(scale_src, 1e-8), total_bits)
+
+
+def odq_mixed_conv(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    padding: int,
+    threshold: float,
+    qp_a: QParams,
+    qp_w: QParams,
+    low_bits: int = ODQ_LOW_BITS,
+    compensate_low_bits: bool = True,
+) -> dict:
+    """The ODQ two-step forward pass as a pure function.
+
+    Returns ``{"out", "mask", "partial", "full"}`` where ``out`` equals
+    ``full`` at sensitive positions and ``partial`` elsewhere.  Shared by
+    the inference executor and the QAT layer so training and deployment
+    see identical semantics.
+
+    ``compensate_low_bits`` adds the expected low-plane contribution
+    ``E[q_l] * sum(qw)`` (a per-channel constant — free in hardware, the
+    Im2col/Pack engine already touches the full 4-bit operands) to the
+    predictor partial.  The HBS-only partial truncates the activations'
+    low two bits, whose mean is positive, so the raw partial consistently
+    underestimates output magnitude; the correction roughly halves the
+    predictor's miss rate (measured in tests/core/test_odq.py).
+    """
+    q = quantize(x, qp_a)
+    qw = quantize(weight, qp_w)
+    w_sum = qw.sum(axis=(1, 2, 3)).reshape(1, -1, 1, 1)
+    qw_high = split_planes(qw, qp_w, low_bits).high
+
+    e_low = (
+        float(split_planes(q, qp_a, low_bits).low.mean())
+        if compensate_low_bits
+        else 0.0
+    )
+    if padding:
+        q = pad_nchw(q, padding, value=qp_a.zero_point).astype(np.int64)
+    q_high = split_planes(q, qp_a, low_bits).high
+
+    scale = qp_a.scale * qp_w.scale
+    hh = int_conv2d(q_high, qw_high, stride, 0)
+    partial = scale * ((hh << (2 * low_bits)) + (e_low - qp_a.zero_point) * w_sum)
+    acc = int_conv2d(q, qw, stride, 0)
+    full = scale * (acc - qp_a.zero_point * w_sum)
+    if bias is not None:
+        partial = partial + bias.reshape(1, -1, 1, 1)
+        full = full + bias.reshape(1, -1, 1, 1)
+    mask = mask_from_magnitude(partial, threshold)
+    out = np.where(mask.mask, full, partial)
+    return {"out": out, "mask": mask, "partial": partial, "full": full}
+
+
+class ODQConvExecutor(ConvExecutor):
+    """One convolution layer under output-directed dynamic quantization.
+
+    Parameters
+    ----------
+    conv:
+        The trained full-precision layer being executed.
+    name:
+        Dotted module path (used in reports and mask dumps).
+    threshold:
+        Sensitivity threshold compared against the magnitude of the
+        *dequantized* predictor partial result.  The paper uses one
+        threshold per model (Table 3); see ``repro.core.threshold`` for
+        the adaptive search that chooses it.
+    total_bits / low_bits:
+        Operand width and low-plane width; the paper's instance is 4/2.
+    """
+
+    def __init__(
+        self,
+        conv: Conv2d,
+        name: str,
+        threshold: float,
+        total_bits: int = ODQ_TOTAL_BITS,
+        low_bits: int = ODQ_LOW_BITS,
+        observer: Observer | None = None,
+        keep_masks: bool = True,
+        collect_partials: bool = False,
+        weight_percentile: float = 97.0,
+        dynamic_act: bool = True,
+        compensate_low_bits: bool = True,
+        threshold_mode: str = "absolute",
+    ):
+        super().__init__(conv, name)
+        self.collect_partials = collect_partials
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if not 0 < low_bits < total_bits:
+            raise ValueError("need 0 < low_bits < total_bits")
+        self.threshold = threshold
+        self.total_bits = total_bits
+        self.low_bits = low_bits
+        self.observer = observer or MinMaxObserver()
+        self.keep_masks = keep_masks
+        self.weight_percentile = weight_percentile
+        #: Dynamic activation ranges (per batch, like the QAT layer and the
+        #: paper's runtime quantization); False falls back to the observer.
+        self.dynamic_act = dynamic_act
+        #: Per-channel E[q_l]*sum(qw) correction of the predictor partial
+        #: (see odq_mixed_conv); disable to get the raw Eq.-3 HH term.
+        self.compensate_low_bits = compensate_low_bits
+        #: "absolute": compare |partial| against ``threshold`` directly
+        #: (the paper's rule; meaningful when layer output scales are
+        #: uniform, as DoReFa training makes them).  "scaled": compare
+        #: against ``threshold * std(layer output)`` with the std frozen
+        #: at calibration — the substrate adaptation that restores the
+        #: paper's one-threshold-per-model property when output scales
+        #: vary across layers (see DESIGN.md).
+        if threshold_mode not in ("absolute", "scaled"):
+            raise ValueError(f"unknown threshold_mode {threshold_mode!r}")
+        self.threshold_mode = threshold_mode
+        self.output_std: float | None = None
+        self._std_acc: list[float] = []
+
+        self.qp_a: QParams | None = None
+        self.qp_w: QParams | None = None
+        self._qw: np.ndarray | None = None       # full INT4 weights
+        self._qw_high: np.ndarray | None = None  # W_HBS plane
+        self._w_sum: np.ndarray | None = None    # zero-point correction
+
+    # -- calibration -------------------------------------------------------------
+
+    def calibrate(self, x: np.ndarray) -> np.ndarray:
+        self.observer.observe(x)
+        out = self.reference_forward(x)
+        if self.threshold_mode == "scaled":
+            self._std_acc.append(float(out.std()))
+        return out
+
+    def freeze(self) -> None:
+        w = self.conv.weight.data
+        self.qp_w = odq_weight_qparams(w, self.total_bits, self.weight_percentile)
+        if self.threshold_mode == "scaled":
+            self.output_std = float(np.mean(self._std_acc)) if self._std_acc else 1.0
+        if not self.dynamic_act:
+            self.qp_a = self.observer.qparams(self.total_bits, signed=False)
+        self._qw = quantize(w, self.qp_w)
+        planes = split_planes(self._qw, self.qp_w, self.low_bits)
+        self._qw_high = planes.high
+        self._w_sum = self._qw.sum(axis=(1, 2, 3)).reshape(1, -1, 1, 1)
+        super().freeze()
+
+    def _qp_a_for(self, x: np.ndarray) -> QParams:
+        """Activation qparams: per-batch range when ``dynamic_act``."""
+        if self.dynamic_act:
+            return affine_qparams(float(x.min()), float(x.max()), self.total_bits)
+        return self.qp_a
+
+    @property
+    def effective_threshold(self) -> float:
+        """The absolute magnitude the mask actually compares against."""
+        if self.threshold_mode == "scaled":
+            sigma = self.output_std if self.output_std else 1.0
+            return self.threshold * sigma
+        return self.threshold
+
+    # -- the two-step inference -----------------------------------------------------
+
+    def predict_partial(self, x: np.ndarray) -> np.ndarray:
+        """Sensitivity-prediction step: dequantized HBS*HBS partial output.
+
+        This is the value the predictor PE arrays produce — the dominant
+        Eq.-3 term plus the (precomputed, per-channel) zero-point and bias
+        constants, so its magnitude is directly comparable to the final
+        output feature.
+        """
+        qp_a = self._qp_a_for(x)
+        q = quantize(x, qp_a)
+        e_low = (
+            float(split_planes(q, qp_a, self.low_bits).low.mean())
+            if self.compensate_low_bits
+            else 0.0
+        )
+        if self.conv.padding:
+            # Pad with the zero point (real 0) *before* the plane split so
+            # the predictor sees the same border values the executor does.
+            q = pad_nchw(q.astype(np.int64), self.conv.padding,
+                         value=qp_a.zero_point).astype(np.int64)
+        q_high = split_planes(q, qp_a, self.low_bits).high
+        hh = int_conv2d(q_high, self._qw_high, self.conv.stride, 0)
+        shifted = hh << (2 * self.low_bits)
+        partial = qp_a.scale * self.qp_w.scale * (
+            shifted + (e_low - qp_a.zero_point) * self._w_sum
+        )
+        if self.conv.bias is not None:
+            partial = partial + self.conv.bias.data.reshape(1, -1, 1, 1)
+        return partial
+
+    def full_result(self, x: np.ndarray) -> np.ndarray:
+        """Exact INT4 static-quantization output (predictor + all executor terms)."""
+        qp_a = self._qp_a_for(x)
+        q = quantize(x, qp_a)
+        acc = int_conv2d(q, self._qw, self.conv.stride, self.conv.padding,
+                         pad_value=qp_a.zero_point)
+        out = qp_a.scale * self.qp_w.scale * (
+            acc - qp_a.zero_point * self._w_sum
+        )
+        if self.conv.bias is not None:
+            out = out + self.conv.bias.data.reshape(1, -1, 1, 1)
+        return out
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        if not self.frozen:
+            raise RuntimeError(f"executor {self.info.name} not frozen; calibrate first")
+        self._note_shapes(x)
+
+        partial = self.predict_partial(x)
+        if self.collect_partials:
+            flat = np.abs(partial).reshape(-1)
+            step = max(1, flat.size // 4096)
+            self.record.extra.setdefault("partial_abs_samples", []).append(flat[::step])
+        mask = mask_from_magnitude(partial, self.effective_threshold)
+        full = self.full_result(x)
+        out = np.where(mask.mask, full, partial)
+
+        self.record.add_mask(mask)
+        if not self.keep_masks:
+            self.record.last_mask = None
+        n_out = partial.size
+        # Predictor: one INT2 MAC stream over every output feature.
+        self.record.macs["pred_int2"] += n_out * self.info.macs_per_output
+        # Executor: the remaining three cross terms, only for sensitive outputs.
+        self.record.macs["exec_int4"] += mask.sensitive_count * self.info.macs_per_output
+        return out
+
+    # -- introspection ---------------------------------------------------------------
+
+    def sensitivity_mask(self, x: np.ndarray) -> SensitivityMask:
+        """Run only the prediction step and return the bit mask."""
+        return mask_from_magnitude(self.predict_partial(x), self.effective_threshold)
+
+
+__all__ = ["ODQConvExecutor"]

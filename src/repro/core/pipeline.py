@@ -1,0 +1,176 @@
+"""Quantized inference engine.
+
+Takes a trained model and a :class:`~repro.core.schemes.Scheme`, replaces
+every convolution with an instrumented executor, calibrates quantization
+ranges on sample data, and then serves quantized inference while
+collecting per-layer :class:`~repro.core.base.LayerRecord` statistics.
+
+The engine is the glue reproducing the paper's methodology end-to-end:
+
+    trained net --calibrate--> quantized inference --masks--> accelerator
+    (Fig. 18 accuracy)                              (Figs 9-11, 19-21)
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.base import ConvExecutor, LayerRecord
+from repro.core.schemes import Scheme
+from repro.nn.layers import Conv2d, Module, swap_modules
+from repro.nn.tensor import Tensor
+from repro.nn.trainer import iterate_minibatches
+
+
+class InstrumentedConv(Module):
+    """Stand-in module that routes a conv through its scheme executor."""
+
+    def __init__(self, executor: ConvExecutor, engine: "QuantizedInferenceEngine"):
+        super().__init__()
+        self.executor = executor
+        self.engine = engine
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.engine.capture_inputs:
+            self.executor.record.extra["last_input"] = x.data
+        if self.engine.mode == "calibrate":
+            return Tensor(self.executor.calibrate(x.data))
+        return Tensor(self.executor.run(x.data))
+
+
+class QuantizedInferenceEngine:
+    """Applies a quantization scheme to a model for instrumented inference.
+
+    The model is mutated in place (convs swapped for instrumented twins);
+    use :meth:`restore` to undo.  Only ``Conv2d`` layers are quantized —
+    matching the paper's focus ("our focus is on inference time, with a
+    particular emphasis on the convolutional layers"); BN, pooling and the
+    classifier head run in floating point.
+    """
+
+    def __init__(self, model: Module, scheme: Scheme, skip_first_conv: bool = False):
+        self.model = model
+        self.scheme = scheme
+        self.mode = "calibrate"
+        #: When true, each conv's latest input batch is stored in
+        #: ``record.extra["last_input"]`` (used by the motivation study).
+        self.capture_inputs = False
+        self.executors: "OrderedDict[str, ConvExecutor]" = OrderedDict()
+        self._originals: list[tuple[Module, str, int | None, Conv2d]] = []
+        self._install(skip_first_conv)
+
+    # -- installation -------------------------------------------------------------
+
+    def _install(self, skip_first_conv: bool) -> None:
+        engine = self
+        counter = {"conv": 0}
+        names = {id(m): n for n, m in self.model.named_modules()}
+
+        def transform(m: Module) -> Module:
+            if isinstance(m, Conv2d) and not isinstance(m, InstrumentedConv):
+                idx = counter["conv"]
+                counter["conv"] += 1
+                if skip_first_conv and idx == 0:
+                    return m
+                name = names.get(id(m), f"conv{idx}")
+                executor = engine.scheme.make_executor(m, f"C{idx + 1}:{name}")
+                engine.executors[executor.info.name] = executor
+                return InstrumentedConv(executor, engine)
+            return m
+
+        swap_modules(self.model, transform)
+        if not self.executors:
+            raise ValueError("model contains no Conv2d layers to quantize")
+
+    def restore(self) -> None:
+        """Put the original Conv2d modules back."""
+
+        def transform(m: Module) -> Module:
+            if isinstance(m, InstrumentedConv):
+                return m.executor.conv
+            return m
+
+        swap_modules(self.model, transform)
+        self.executors.clear()
+
+    # -- calibration ---------------------------------------------------------------
+
+    def calibrate(self, x: np.ndarray, batch_size: int = 128) -> None:
+        """Run FP forward passes to collect ranges, then freeze qparams."""
+        self.mode = "calibrate"
+        self.model.eval()
+        for start in range(0, len(x), batch_size):
+            self.model(Tensor(x[start : start + batch_size]))
+        for executor in self.executors.values():
+            executor.freeze()
+        self.mode = "run"
+
+    # -- inference -------------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.mode != "run":
+            raise RuntimeError("engine not calibrated; call calibrate() first")
+        self.model.eval()
+        return self.model(Tensor(x)).data
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 128) -> float:
+        """Top-1 accuracy under the quantization scheme."""
+        correct = 0
+        for xb, yb in iterate_minibatches(x, y, batch_size):
+            logits = self.forward(xb)
+            correct += int((logits.argmax(axis=1) == yb).sum())
+        return correct / len(x)
+
+    # -- results -----------------------------------------------------------------------
+
+    @property
+    def records(self) -> "OrderedDict[str, LayerRecord]":
+        return OrderedDict(
+            (name, ex.record) for name, ex in self.executors.items()
+        )
+
+    def reset_records(self) -> None:
+        for ex in self.executors.values():
+            ex.record = LayerRecord(info=ex.info)
+
+    def total_macs(self) -> dict[str, int]:
+        """Aggregate MAC counts by precision class across all layers."""
+        totals: dict[str, int] = {}
+        for rec in self.records.values():
+            for key, val in rec.macs.items():
+                totals[key] = totals.get(key, 0) + val
+        return totals
+
+    def mean_sensitive_fraction(self) -> float:
+        """Output-sensitive fraction across all layers (ODQ schemes)."""
+        total = sum(r.outputs_total for r in self.records.values())
+        sens = sum(r.sensitive_total for r in self.records.values())
+        return sens / total if total else 0.0
+
+
+def run_scheme(
+    model: Module,
+    scheme: Scheme,
+    x_calib: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    batch_size: int = 128,
+) -> tuple[float, "OrderedDict[str, LayerRecord]"]:
+    """Convenience one-shot: calibrate, evaluate, restore.
+
+    Returns (top-1 accuracy, per-layer records).  The model is returned to
+    its original modules even if evaluation raises.
+    """
+    engine = QuantizedInferenceEngine(model, scheme)
+    try:
+        engine.calibrate(x_calib, batch_size)
+        acc = engine.evaluate(x_test, y_test, batch_size)
+        records = engine.records
+    finally:
+        engine.restore()
+    return acc, records
+
+
+__all__ = ["InstrumentedConv", "QuantizedInferenceEngine", "run_scheme"]

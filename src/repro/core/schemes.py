@@ -1,0 +1,150 @@
+"""Quantization scheme registry.
+
+A :class:`Scheme` bundles a name with a factory that builds the per-layer
+conv executor.  The five schemes of the paper's evaluation (Fig. 18):
+
+=============  =====================================================
+``fp32``       full-precision reference
+``int16``      DoReFa static 16-bit (Table 2's INT16 accelerator)
+``int8``       DoReFa static 8-bit
+``drq84``      DRQ with INT8 sensitive / INT4 insensitive inputs
+``drq42``      DRQ with INT4 / INT2 (the low-bitwidth failure case)
+``odq``        output-directed dynamic quantization, INT4 w/ 2-bit
+               prediction (threshold per model, Table 3)
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.base import ConvExecutor
+from repro.core.drq import DRQConvExecutor
+from repro.core.odq import ODQConvExecutor
+from repro.core.static_quant import FP32ConvExecutor, StaticQuantConvExecutor
+from repro.nn.layers import Conv2d
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """A named quantization scheme.
+
+    Attributes
+    ----------
+    name:
+        Registry key, also used in reports.
+    kind:
+        One of ``fp32 | static | drq | odq`` (drives accelerator mapping).
+    factory:
+        ``(conv, layer_name) -> ConvExecutor``.
+    params:
+        The scheme's salient parameters, for reporting.
+    """
+
+    name: str
+    kind: str
+    factory: Callable[[Conv2d, str], ConvExecutor]
+    params: dict = field(default_factory=dict)
+
+    def make_executor(self, conv: Conv2d, name: str) -> ConvExecutor:
+        return self.factory(conv, name)
+
+
+def fp32_scheme() -> Scheme:
+    return Scheme("fp32", "fp32", FP32ConvExecutor)
+
+
+def static_scheme(bits: int) -> Scheme:
+    return Scheme(
+        f"int{bits}",
+        "static",
+        lambda conv, name: StaticQuantConvExecutor(conv, name, bits=bits),
+        params={"bits": bits},
+    )
+
+
+def drq_scheme(
+    hi_bits: int = 8,
+    lo_bits: int = 4,
+    region: int = 2,
+    target_sensitive: float = 0.5,
+    threshold: float | None = None,
+) -> Scheme:
+    params = {
+        "hi_bits": hi_bits,
+        "lo_bits": lo_bits,
+        "region": region,
+        "target_sensitive": target_sensitive,
+        "threshold": threshold,
+    }
+    return Scheme(
+        f"drq{hi_bits}{lo_bits}",
+        "drq",
+        lambda conv, name: DRQConvExecutor(
+            conv,
+            name,
+            hi_bits=hi_bits,
+            lo_bits=lo_bits,
+            region=region,
+            target_sensitive=target_sensitive,
+            threshold=threshold,
+        ),
+        params=params,
+    )
+
+
+def odq_scheme(
+    threshold: float,
+    total_bits: int = 4,
+    low_bits: int = 2,
+    keep_masks: bool = True,
+    weight_percentile: float = 97.0,
+    compensate_low_bits: bool = True,
+    threshold_mode: str = "absolute",
+) -> Scheme:
+    params = {
+        "threshold": threshold,
+        "total_bits": total_bits,
+        "low_bits": low_bits,
+        "weight_percentile": weight_percentile,
+        "compensate_low_bits": compensate_low_bits,
+        "threshold_mode": threshold_mode,
+    }
+    return Scheme(
+        "odq",
+        "odq",
+        lambda conv, name: ODQConvExecutor(
+            conv,
+            name,
+            threshold=threshold,
+            total_bits=total_bits,
+            low_bits=low_bits,
+            keep_masks=keep_masks,
+            weight_percentile=weight_percentile,
+            compensate_low_bits=compensate_low_bits,
+            threshold_mode=threshold_mode,
+        ),
+        params=params,
+    )
+
+
+def paper_schemes(odq_threshold: float) -> dict[str, Scheme]:
+    """The comparison set of Fig. 18/19/21, keyed by display name."""
+    return {
+        "INT16": static_scheme(16),
+        "INT8": static_scheme(8),
+        "DRQ 8-4": drq_scheme(8, 4),
+        "DRQ 4-2": drq_scheme(4, 2),
+        "ODQ 4-2": odq_scheme(odq_threshold),
+    }
+
+
+__all__ = [
+    "Scheme",
+    "fp32_scheme",
+    "static_scheme",
+    "drq_scheme",
+    "odq_scheme",
+    "paper_schemes",
+]

@@ -1,0 +1,146 @@
+"""Motivation-study metrics (Section 2, Figures 2-5) and shared statistics.
+
+These quantify the two failure modes of input-directed quantization that
+motivate ODQ:
+
+* Fig. 2 — sensitive outputs are computed from large fractions of
+  *low-precision* inputs (bucketed 0-25 / 25-50 / 50-75 / 75-100 %);
+* Fig. 3 — the resulting *precision loss* on sensitive outputs;
+* Fig. 4 — insensitive outputs consume *high-precision* inputs
+  (same buckets);
+* Fig. 5 — the *extra precision* (Eq. 1) wasted on insensitive outputs:
+  ``max |O_IDQ - O_LP_input|``.
+
+Output sensitivity is defined the same way the ODQ predictor defines it:
+``|output| > threshold`` on the full-precision output feature map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.drq import DRQConvExecutor
+from repro.core.base import float_conv2d
+
+#: The paper's Fig. 2/4 histogram bucket edges (fractions).
+BUCKET_EDGES = (0.0, 0.25, 0.50, 0.75, 1.0 + 1e-9)
+BUCKET_LABELS = ("0-25%", "25-50%", "50-75%", "75-100%")
+
+
+@dataclass
+class MotivationLayerStats:
+    """Figures 2-5 numbers for one convolution layer."""
+
+    layer: str
+    #: Fig. 2: share of *sensitive* outputs per low-precision-input bucket.
+    lowprec_input_buckets: np.ndarray
+    #: Fig. 3: mean |O_fp - O_drq| over sensitive outputs.
+    precision_loss_sensitive: float
+    #: Fig. 4: share of *insensitive* outputs per high-precision-input bucket.
+    highprec_input_buckets: np.ndarray
+    #: Fig. 5: Eq. 1 extra precision over insensitive outputs.
+    extra_precision_insensitive: float
+    sensitive_fraction: float
+
+
+def _bucket_shares(fractions: np.ndarray) -> np.ndarray:
+    """Histogram fractions into the four paper buckets (shares sum to 1)."""
+    if fractions.size == 0:
+        return np.zeros(len(BUCKET_LABELS))
+    hist, _ = np.histogram(fractions, bins=BUCKET_EDGES)
+    return hist / fractions.size
+
+
+def input_fraction_per_output(
+    input_mask: np.ndarray, kernel: int, stride: int, padding: int
+) -> np.ndarray:
+    """Per-output-position fraction of masked input pixels in its window.
+
+    ``input_mask`` is the (N, 1, H, W) boolean DRQ sensitivity mask; the
+    result has shape (N, 1, OH, OW) with values in [0, 1].  Padding pixels
+    count as unmasked (they contribute zero MAC value either way, matching
+    how the paper counts "input features involved in computing").
+    """
+    ones = np.ones((1, 1, kernel, kernel))
+    counts = float_conv2d(input_mask.astype(np.float64), ones, None, stride, padding)
+    return counts / (kernel * kernel)
+
+
+def motivation_stats_for_layer(
+    executor: DRQConvExecutor,
+    x: np.ndarray,
+    output_threshold: float,
+) -> MotivationLayerStats:
+    """Compute the Fig. 2-5 metrics for one calibrated DRQ conv layer.
+
+    Parameters
+    ----------
+    executor:
+        A frozen :class:`DRQConvExecutor` for the layer.
+    x:
+        The layer's input feature-map batch (float).
+    output_threshold:
+        Output-sensitivity threshold applied to the *full-precision*
+        output magnitudes (the ODQ notion of sensitivity).
+    """
+    if not executor.frozen:
+        raise RuntimeError("executor must be frozen")
+    info = executor.info
+
+    o_fp = executor.reference_forward(x)
+    out_sensitive = np.abs(o_fp) > output_threshold
+
+    in_mask = executor.input_mask(x)
+    o_drq = executor.mixed_precision_output(x, in_mask)
+    o_lp = executor.low_precision_output(x)
+
+    frac_hi = input_fraction_per_output(
+        in_mask, info.kernel_size, info.stride, info.padding
+    )
+    frac_lo = 1.0 - frac_hi
+    # Broadcast the per-position fractions across output channels.
+    frac_hi_b = np.broadcast_to(frac_hi, o_fp.shape)
+    frac_lo_b = np.broadcast_to(frac_lo, o_fp.shape)
+
+    sens = out_sensitive
+    insens = ~out_sensitive
+
+    err = np.abs(o_fp - o_drq)
+    precision_loss = float(err[sens].mean()) if sens.any() else 0.0
+    extra_precision = float(np.abs(o_drq - o_lp)[insens].max()) if insens.any() else 0.0
+
+    return MotivationLayerStats(
+        layer=info.name,
+        lowprec_input_buckets=_bucket_shares(frac_lo_b[sens]),
+        precision_loss_sensitive=precision_loss,
+        highprec_input_buckets=_bucket_shares(frac_hi_b[insens]),
+        extra_precision_insensitive=extra_precision,
+        sensitive_fraction=float(sens.mean()),
+    )
+
+
+def odq_precision_loss_for_layer(
+    o_fp: np.ndarray, o_odq: np.ndarray, output_threshold: float
+) -> float:
+    """ODQ's precision loss on sensitive outputs (Section 6.1 per-layer list).
+
+    Under ODQ, sensitive outputs are computed at full INT4 precision, so
+    the only loss is quantization rounding — the numbers the paper lists
+    (0.02-0.1 per layer) against DRQ's 0.1-1+ in Fig. 3.
+    """
+    sens = np.abs(o_fp) > output_threshold
+    if not sens.any():
+        return 0.0
+    return float(np.abs(o_fp - o_odq)[sens].mean())
+
+
+__all__ = [
+    "BUCKET_EDGES",
+    "BUCKET_LABELS",
+    "MotivationLayerStats",
+    "input_fraction_per_output",
+    "motivation_stats_for_layer",
+    "odq_precision_loss_for_layer",
+]

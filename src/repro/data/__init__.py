@@ -1,0 +1,17 @@
+"""Synthetic datasets standing in for CIFAR-10/100 and MNIST."""
+
+from repro.data.synthetic import (
+    Dataset,
+    make_synthetic_dataset,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    synthetic_mnist,
+)
+
+__all__ = [
+    "Dataset",
+    "make_synthetic_dataset",
+    "synthetic_cifar10",
+    "synthetic_cifar100",
+    "synthetic_mnist",
+]

@@ -1,0 +1,23 @@
+"""The paper's evaluation networks: ResNet-20/56, VGG-16, DenseNet, LeNet-5."""
+
+from repro.models.lenet import LeNet5
+from repro.models.resnet import BasicBlock, CifarResNet, resnet20, resnet56
+from repro.models.vgg import VGG, vgg11, vgg16
+from repro.models.densenet import DenseNet, densenet
+from repro.models.registry import available_models, build_model, PAPER_MODELS
+
+__all__ = [
+    "LeNet5",
+    "BasicBlock",
+    "CifarResNet",
+    "resnet20",
+    "resnet56",
+    "VGG",
+    "vgg11",
+    "vgg16",
+    "DenseNet",
+    "densenet",
+    "available_models",
+    "build_model",
+    "PAPER_MODELS",
+]

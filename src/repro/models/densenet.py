@@ -1,0 +1,105 @@
+"""DenseNet for CIFAR-size inputs (Huang et al. 2017).
+
+The fourth evaluation network of the paper.  This is the original
+(non-bottleneck) CIFAR DenseNet: three dense blocks of ``n`` 3x3 conv
+layers with growth rate ``k``, joined by 1x1-conv + 2x2-avg-pool
+transitions.  Depth = 3n + 4.  The default (depth 22, k = 12) matches the
+smallest configuration in the DenseNet paper's CIFAR table; ``scale``
+shrinks the growth rate for test-size instances of the same topology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.nn.tensor import Tensor
+from repro.utils.rng import new_rng
+
+
+class DenseLayer(Module):
+    """BN-ReLU-Conv3x3 producing ``growth`` channels, concatenated onto input."""
+
+    def __init__(self, in_channels: int, growth: int, rng):
+        super().__init__()
+        self.bn = BatchNorm2d(in_channels)
+        self.conv = Conv2d(in_channels, growth, 3, padding=1, bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        new = self.conv(self.bn(x).relu())
+        return Tensor.concat([x, new], axis=1)
+
+
+class Transition(Module):
+    """BN-ReLU-Conv1x1 + 2x2 average pool between dense blocks."""
+
+    def __init__(self, in_channels: int, out_channels: int, rng):
+        super().__init__()
+        self.bn = BatchNorm2d(in_channels)
+        self.conv = Conv2d(in_channels, out_channels, 1, bias=False, rng=rng)
+        self.pool = AvgPool2d(2)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.pool(self.conv(self.bn(x).relu()))
+
+
+class DenseNet(Module):
+    def __init__(
+        self,
+        depth: int = 22,
+        growth: int = 12,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        scale: float = 1.0,
+        compression: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if (depth - 4) % 3 != 0:
+            raise ValueError("DenseNet depth must be 3n + 4")
+        rng = new_rng(rng)
+        growth = max(2, int(round(growth * scale)))
+        n = (depth - 4) // 3
+
+        channels = max(4, 2 * growth)
+        self.conv1 = Conv2d(in_channels, channels, 3, padding=1, bias=False, rng=rng)
+
+        blocks: list[Module] = []
+        for block_idx in range(3):
+            layers = []
+            for _ in range(n):
+                layers.append(DenseLayer(channels, growth, rng))
+                channels += growth
+            blocks.append(Sequential(*layers))
+            if block_idx < 2:
+                out_c = max(4, int(channels * compression))
+                blocks.append(Transition(channels, out_c, rng))
+                channels = out_c
+        self.blocks = Sequential(*blocks)
+        self.bn_final = BatchNorm2d(channels)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(channels, num_classes, rng=rng)
+        self.depth = depth
+        self.growth = growth
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.blocks(self.conv1(x))
+        out = self.bn_final(out).relu()
+        return self.fc(self.pool(out))
+
+
+def densenet(num_classes: int = 10, scale: float = 1.0, rng=None, in_channels: int = 3, depth: int = 22) -> DenseNet:
+    """CIFAR DenseNet (depth 3n+4, growth 12)."""
+    return DenseNet(depth=depth, growth=12, num_classes=num_classes, in_channels=in_channels, scale=scale, rng=rng)
+
+
+__all__ = ["DenseLayer", "Transition", "DenseNet", "densenet"]

@@ -1,0 +1,57 @@
+"""LeNet-5, the paper's Fig.-1 illustration network."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.utils.rng import new_rng
+
+
+class LeNet5(Module):
+    """Classic LeNet-5 (conv6-pool-conv16-pool-fc120-fc84-fc10).
+
+    Defaults match a 28x28 single-channel input (the MNIST geometry used in
+    the paper's Figure 1); ``image_size`` and ``in_channels`` generalise it.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 1,
+        image_size: int = 28,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = new_rng(rng)
+        self.features = Sequential(
+            Conv2d(in_channels, 6, 5, padding=2, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(6, 16, 5, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+        )
+        feat = (image_size // 2 - 4) // 2
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(16 * feat * feat, 120, rng=rng),
+            ReLU(),
+            Linear(120, 84, rng=rng),
+            ReLU(),
+            Linear(84, num_classes, rng=rng),
+        )
+
+    def forward(self, x):
+        return self.classifier(self.features(x))
+
+
+__all__ = ["LeNet5"]

@@ -1,0 +1,54 @@
+"""Model registry: build any of the paper's evaluation networks by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.models.densenet import densenet
+from repro.models.lenet import LeNet5
+from repro.models.resnet import resnet20, resnet56
+from repro.models.vgg import vgg11, vgg16
+from repro.nn.layers import Module
+
+_BUILDERS: dict[str, Callable] = {
+    "resnet20": resnet20,
+    "resnet56": resnet56,
+    "vgg16": vgg16,
+    "vgg11": vgg11,
+    "densenet": densenet,
+}
+
+#: The four networks of the paper's evaluation (Figs 18, 19, 21).
+PAPER_MODELS: tuple[str, ...] = ("resnet56", "resnet20", "vgg16", "densenet")
+
+
+def available_models() -> list[str]:
+    return sorted(_BUILDERS) + ["lenet5"]
+
+
+def build_model(
+    name: str,
+    num_classes: int = 10,
+    scale: float = 1.0,
+    rng: np.random.Generator | None = None,
+    in_channels: int = 3,
+    image_size: int = 32,
+) -> Module:
+    """Instantiate a model by registry name.
+
+    ``scale`` multiplies channel widths (topology unchanged); see DESIGN.md
+    section 2 for why scaled instances preserve the evaluation's shape.
+    """
+    name = name.lower()
+    if name == "lenet5":
+        return LeNet5(num_classes, in_channels, image_size, rng)
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}") from None
+    return builder(num_classes=num_classes, scale=scale, rng=rng, in_channels=in_channels)
+
+
+__all__ = ["available_models", "build_model", "PAPER_MODELS"]

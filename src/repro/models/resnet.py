@@ -1,0 +1,107 @@
+"""CIFAR-style ResNets (He et al. 2016, section 4.2 variant).
+
+ResNet-20 and ResNet-56 — two of the paper's four evaluation networks —
+are the 6n+2 CIFAR residual nets with three stages of n basic blocks at
+16/32/64 channels and option-A (parameter-free) shortcuts.  ``scale``
+multiplies the channel widths so tests can run tiny instances of the
+*same topology*; the per-layer structure (which drives the per-layer
+sensitivity figures 2-5, 9-11) is unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.nn.tensor import Tensor
+from repro.utils.rng import new_rng
+
+
+class BasicBlock(Module):
+    """Two 3x3 convs with identity (option-A) shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = new_rng(rng)
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.stride = stride
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+
+    def _shortcut(self, x: Tensor) -> Tensor:
+        if self.stride == 1 and self.in_channels == self.out_channels:
+            return x
+        # Option A: subsample spatially, zero-pad channels (no parameters).
+        s = x[:, :, :: self.stride, :: self.stride]
+        return s.pad_channels(self.out_channels - self.in_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + self._shortcut(x)).relu()
+
+
+class CifarResNet(Module):
+    """6n+2-layer CIFAR ResNet (n blocks per stage)."""
+
+    def __init__(
+        self,
+        num_blocks_per_stage: int,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        scale: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = new_rng(rng)
+        widths = [max(4, int(round(w * scale))) for w in (16, 32, 64)]
+        self.conv1 = Conv2d(in_channels, widths[0], 3, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(widths[0])
+        self.stage1 = self._make_stage(widths[0], widths[0], num_blocks_per_stage, 1, rng)
+        self.stage2 = self._make_stage(widths[0], widths[1], num_blocks_per_stage, 2, rng)
+        self.stage3 = self._make_stage(widths[1], widths[2], num_blocks_per_stage, 2, rng)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(widths[2], num_classes, rng=rng)
+        self.depth = 6 * num_blocks_per_stage + 2
+
+    @staticmethod
+    def _make_stage(in_c: int, out_c: int, blocks: int, stride: int, rng) -> Sequential:
+        layers = [BasicBlock(in_c, out_c, stride, rng)]
+        layers.extend(BasicBlock(out_c, out_c, 1, rng) for _ in range(blocks - 1))
+        return Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.stage3(self.stage2(self.stage1(out)))
+        return self.fc(self.pool(out))
+
+
+def resnet20(num_classes: int = 10, scale: float = 1.0, rng=None, in_channels: int = 3) -> CifarResNet:
+    """ResNet-20: 3 blocks per stage (the paper's per-layer study network)."""
+    return CifarResNet(3, num_classes, in_channels, scale, rng)
+
+
+def resnet56(num_classes: int = 10, scale: float = 1.0, rng=None, in_channels: int = 3) -> CifarResNet:
+    """ResNet-56: 9 blocks per stage."""
+    return CifarResNet(9, num_classes, in_channels, scale, rng)
+
+
+__all__ = ["BasicBlock", "CifarResNet", "resnet20", "resnet56"]

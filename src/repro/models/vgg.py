@@ -1,0 +1,72 @@
+"""VGG-16 adapted for CIFAR-size inputs (conv layers + BN, compact head).
+
+This is the standard "VGG-16 on CIFAR" variant used throughout the
+quantization literature (13 conv layers in five max-pooled stages, one
+fully-connected classifier head after global pooling).  ``scale``
+multiplies channel widths for laptop-scale runs of the same topology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.utils.rng import new_rng
+
+#: Channel plan of VGG-16's 13 conv layers; "M" marks a 2x2 max pool.
+VGG16_PLAN = [64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "M", 512, 512, 512, "M"]
+
+
+class VGG(Module):
+    def __init__(
+        self,
+        plan: list,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        scale: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = new_rng(rng)
+        layers: list[Module] = []
+        c_in = in_channels
+        last_width = c_in
+        for item in plan:
+            if item == "M":
+                layers.append(MaxPool2d(2))
+                continue
+            width = max(4, int(round(item * scale)))
+            layers.append(Conv2d(c_in, width, 3, padding=1, bias=False, rng=rng))
+            layers.append(BatchNorm2d(width))
+            layers.append(ReLU())
+            c_in = width
+            last_width = width
+        self.features = Sequential(*layers)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(last_width, num_classes, rng=rng)
+
+    def forward(self, x):
+        return self.classifier(self.pool(self.features(x)))
+
+
+def vgg16(num_classes: int = 10, scale: float = 1.0, rng=None, in_channels: int = 3) -> VGG:
+    """VGG-16 (13 conv layers), one of the paper's four evaluation DNNs."""
+    return VGG(VGG16_PLAN, num_classes, in_channels, scale, rng)
+
+
+def vgg11(num_classes: int = 10, scale: float = 1.0, rng=None, in_channels: int = 3) -> VGG:
+    """Lighter VGG variant, handy for quick experiments."""
+    plan = [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"]
+    return VGG(plan, num_classes, in_channels, scale, rng)
+
+
+__all__ = ["VGG", "VGG16_PLAN", "vgg16", "vgg11"]

@@ -1,0 +1,176 @@
+"""Differentiable neural-network primitives on :class:`~repro.nn.tensor.Tensor`.
+
+Convolution is implemented as im2col + one GEMM, the standard HPC
+formulation (and the one the paper's accelerator hardware mirrors with its
+Im2col/Pack engine).  Backward passes reuse the cached column matrix, so
+each conv costs three GEMMs total per training step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+from repro.utils.im2col import col2im, conv_output_size, im2col
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution (cross-correlation) over an NCHW input.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Filter bank of shape ``(C_out, C_in, K, K)``.
+    bias:
+        Optional per-output-channel bias of shape ``(C_out,)``.
+    """
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"input channels {c_in} != weight channels {c_in_w}")
+    if kh != kw:
+        raise ValueError("only square kernels are supported")
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+
+    cols = im2col(x.data, kh, stride, padding)  # (N*OH*OW, C*K*K)
+    wmat = weight.data.reshape(c_out, -1).T  # (C*K*K, C_out)
+    out_mat = cols @ wmat
+    if bias is not None:
+        out_mat = out_mat + bias.data.reshape(1, c_out)
+    out_data = out_mat.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        gmat = np.asarray(g).transpose(0, 2, 3, 1).reshape(-1, c_out)
+        if weight.requires_grad:
+            gw = (cols.T @ gmat).T.reshape(weight.shape)
+            weight._accumulate(gw)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(gmat.sum(axis=0))
+        if x.requires_grad:
+            gcols = gmat @ wmat.T
+            x._accumulate(col2im(gcols, x.shape, kh, stride, padding))
+
+    return Tensor.from_op(out_data, parents, backward, "conv2d")
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with ``weight`` of shape (out, in)."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over NCHW input.  Defaults to non-overlapping windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+
+    sn, sc, sh, sw = x.data.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    ).reshape(n, c, oh, ow, kernel * kernel)
+    arg = patches.argmax(axis=-1)
+    out_data = np.take_along_axis(patches, arg[..., None], axis=-1)[..., 0]
+
+    # Precompute flat scatter indices for the backward pass.
+    ki, kj = np.divmod(arg, kernel)
+    ii = np.arange(oh)[None, None, :, None] * stride + ki
+    jj = np.arange(ow)[None, None, None, :] * stride + kj
+    nn_idx = np.arange(n)[:, None, None, None]
+    cc_idx = np.arange(c)[None, :, None, None]
+
+    def backward(g: np.ndarray) -> None:
+        gx = np.zeros_like(x.data)
+        np.add.at(gx, (nn_idx, cc_idx, ii, jj), np.asarray(g))
+        x._accumulate(gx)
+
+    return Tensor.from_op(out_data, (x,), backward, "max_pool2d")
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling, expressed via autograd primitives where possible."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+
+    sn, sc, sh, sw = x.data.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    out_data = patches.mean(axis=(-1, -2))
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(g: np.ndarray) -> None:
+        g = np.asarray(g) * scale
+        gx = np.zeros_like(x.data)
+        for ki in range(kernel):
+            for kj in range(kernel):
+                gx[:, :, ki : ki + stride * oh : stride, kj : kj + stride * ow : stride] += g
+        x._accumulate(gx)
+
+    return Tensor.from_op(out_data, (x,), backward, "avg_pool2d")
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Mean over the spatial dims: (N, C, H, W) -> (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+def flatten(x: Tensor) -> Tensor:
+    """Flatten all but the batch dimension."""
+    return x.reshape(x.shape[0], -1)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax built from autograd primitives."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep) / keep
+    return x * Tensor(mask)
+
+
+__all__ = [
+    "conv2d",
+    "linear",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "flatten",
+    "softmax",
+    "log_softmax",
+    "dropout",
+]

@@ -1,0 +1,34 @@
+"""Weight initialisation schemes (He/Kaiming and Glorot/Xavier)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Fan-in / fan-out for dense (out, in) and conv (out, in, k, k) shapes."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    if len(shape) == 4:
+        out_c, in_c, kh, kw = shape
+        receptive = kh * kw
+        return in_c * receptive, out_c * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He initialisation for ReLU networks: N(0, sqrt(2/fan_in))."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot initialisation: U(-a, a) with a = sqrt(6/(fan_in+fan_out))."""
+    fan_in, fan_out = _fan_in_out(shape)
+    a = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-a, a, size=shape)
+
+
+__all__ = ["kaiming_normal", "xavier_uniform"]

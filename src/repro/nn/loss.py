@@ -1,0 +1,49 @@
+"""Loss functions and classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import log_softmax
+from repro.nn.tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets``.
+
+    Implemented as NLL of log-softmax so the gradient is the usual
+    ``softmax - onehot`` and numerically stable for large logits.
+    """
+    targets = np.asarray(targets)
+    n, c = logits.shape
+    if targets.shape != (n,):
+        raise ValueError(f"targets shape {targets.shape} != ({n},)")
+    log_p = log_softmax(logits, axis=1)
+    onehot = np.zeros((n, c))
+    onehot[np.arange(n), targets] = 1.0
+    return -(log_p * Tensor(onehot)).sum() * (1.0 / n)
+
+
+def mse_loss(pred: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean squared error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def accuracy(logits: np.ndarray | Tensor, targets: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1]."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    return float((data.argmax(axis=1) == np.asarray(targets)).mean())
+
+
+def top_k_accuracy(
+    logits: np.ndarray | Tensor, targets: np.ndarray, k: int = 5
+) -> float:
+    """Top-k accuracy in [0, 1]."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    topk = np.argpartition(-data, kth=min(k, data.shape[1] - 1), axis=1)[:, :k]
+    return float((topk == np.asarray(targets)[:, None]).any(axis=1).mean())
+
+
+__all__ = ["cross_entropy", "mse_loss", "accuracy", "top_k_accuracy"]

@@ -1,0 +1,123 @@
+"""First-order optimisers and learning-rate schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Optimizer:
+    """Base optimiser over a list of parameters."""
+
+    def __init__(self, params: list[Tensor], lr: float):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with classical momentum and decoupled L2 weight decay."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            v *= self.momentum
+            v += g
+            p.data = p.data - self.lr * v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * g * g
+            p.data = p.data - self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class StepLR:
+    """Multiply the optimiser LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> None:
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+
+
+class CosineLR:
+    """Cosine annealing from the initial LR to ``min_lr`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, min_lr: float = 0.0):
+        self.optimizer = optimizer
+        self.t_max = max(t_max, 1)
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self._epoch = 0
+
+    def step(self) -> None:
+        self._epoch = min(self._epoch + 1, self.t_max)
+        cos = 0.5 * (1 + np.cos(np.pi * self._epoch / self.t_max))
+        self.optimizer.lr = self.min_lr + (self.base_lr - self.min_lr) * cos
+
+
+__all__ = ["Optimizer", "SGD", "Adam", "StepLR", "CosineLR"]

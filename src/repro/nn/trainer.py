@@ -1,0 +1,139 @@
+"""Minimal training loop used by examples, benchmarks and integration tests.
+
+The paper trains its networks with DoReFa-style quantization-aware training
+before running ODQ inference; :class:`Trainer` supports that by accepting
+arbitrary models whose layers may include fake-quant wrappers (see
+``repro.quant.dorefa``), since those are ordinary :class:`Module` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.loss import accuracy, cross_entropy
+from repro.nn.optim import Optimizer
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch training curves."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_acc: list[float] = field(default_factory=list)
+    test_acc: list[float] = field(default_factory=list)
+
+    @property
+    def final_test_acc(self) -> float:
+        return self.test_acc[-1] if self.test_acc else float("nan")
+
+
+def iterate_minibatches(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+):
+    """Yield (x_batch, y_batch) minibatches; shuffles when an RNG is given."""
+    n = len(x)
+    order = np.arange(n) if rng is None else rng.permutation(n)
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        yield x[idx], y[idx]
+
+
+def evaluate(model: Module, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:
+    """Top-1 accuracy of ``model`` on a dataset, in eval mode."""
+    was_training = model.training
+    model.eval()
+    correct = 0
+    for xb, yb in iterate_minibatches(x, y, batch_size):
+        logits = model(Tensor(xb))
+        correct += int((logits.data.argmax(axis=1) == yb).sum())
+    model.train(was_training)
+    return correct / len(x)
+
+
+class Trainer:
+    """SGD training driver with optional LR schedule and epoch callbacks."""
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        scheduler=None,
+        loss_fn: Callable = cross_entropy,
+        batch_size: int = 64,
+        rng: np.random.Generator | None = None,
+        verbose: bool = False,
+        grad_clip: float | None = None,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.loss_fn = loss_fn
+        self.batch_size = batch_size
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.verbose = verbose
+        #: Global-norm gradient clipping (needed by low-bit STE training,
+        #: where forward/backward mismatch occasionally spikes gradients).
+        self.grad_clip = grad_clip
+
+    def _clip_gradients(self) -> None:
+        if self.grad_clip is None:
+            return
+        total = 0.0
+        for p in self.optimizer.params:
+            if p.grad is not None:
+                total += float((p.grad ** 2).sum())
+        norm = total ** 0.5
+        if norm > self.grad_clip:
+            scale = self.grad_clip / (norm + 1e-12)
+            for p in self.optimizer.params:
+                if p.grad is not None:
+                    p.grad *= scale
+
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_test: np.ndarray | None = None,
+        y_test: np.ndarray | None = None,
+        epochs: int = 1,
+    ) -> TrainHistory:
+        history = TrainHistory()
+        for epoch in range(epochs):
+            self.model.train()
+            losses, accs = [], []
+            for xb, yb in iterate_minibatches(
+                x_train, y_train, self.batch_size, self.rng
+            ):
+                logits = self.model(Tensor(xb))
+                loss = self.loss_fn(logits, yb)
+                self.optimizer.zero_grad()
+                loss.backward()
+                self._clip_gradients()
+                self.optimizer.step()
+                losses.append(loss.item())
+                accs.append(accuracy(logits, yb))
+            if self.scheduler is not None:
+                self.scheduler.step()
+            history.train_loss.append(float(np.mean(losses)))
+            history.train_acc.append(float(np.mean(accs)))
+            if x_test is not None and y_test is not None:
+                history.test_acc.append(evaluate(self.model, x_test, y_test))
+            if self.verbose:
+                test = f" test_acc={history.test_acc[-1]:.3f}" if history.test_acc else ""
+                print(
+                    f"epoch {epoch + 1}/{epochs}: "
+                    f"loss={history.train_loss[-1]:.4f} "
+                    f"acc={history.train_acc[-1]:.3f}{test}"
+                )
+        return history
+
+
+__all__ = ["Trainer", "TrainHistory", "evaluate", "iterate_minibatches"]

@@ -1,0 +1,94 @@
+"""Bit-plane decomposition of quantized operands (the paper's Eq. 3).
+
+An INT4 operand ``q`` is split as ``q = (q_h << N_LBS) + q_l`` where
+``q_h`` is the 2-bit high-order slice used by the sensitivity predictor and
+``q_l`` the 2-bit low-order slice.  A product of two decomposed operands
+expands into the four cross terms of Eq. 3:
+
+    q_a * q_b = (q_ah*q_bh) << 2*N_LBS
+              + (q_ah*q_bl) << N_LBS
+              + (q_al*q_bh) << N_LBS
+              +  q_al*q_bl
+
+The identity is exact for both unsigned activations and signed weights
+because :func:`repro.utils.bitops.split_bits` uses floor semantics for the
+signed high slice (see that module's docstring); a hypothesis test in
+``tests/quant/test_bitsplit.py`` checks it for the whole INT4 range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ODQ_LOW_BITS
+from repro.quant.uniform import QParams
+from repro.utils.bitops import merge_bits, split_bits
+
+
+@dataclass
+class BitPlanes:
+    """A quantized tensor split into high/low bit planes.
+
+    ``high`` is the predictor-visible slice; ``low`` the remainder.  The
+    original integer tensor is ``(high << low_bits) + low``.
+    """
+
+    high: np.ndarray
+    low: np.ndarray
+    low_bits: int
+    qparams: QParams
+
+    def recompose(self) -> np.ndarray:
+        return merge_bits(self.high, self.low, self.low_bits)
+
+    @property
+    def high_shift(self) -> int:
+        """Left shift to apply to a high x high product: ``2 * low_bits``."""
+        return 2 * self.low_bits
+
+
+def split_planes(
+    q: np.ndarray,
+    qp: QParams,
+    low_bits: int = ODQ_LOW_BITS,
+    mode: str = "sign_magnitude",
+) -> BitPlanes:
+    """Split an integer tensor quantized with ``qp`` into bit planes.
+
+    For signed operands the default is the sign-magnitude convention so
+    the high plane is an unbiased magnitude estimate (see
+    :func:`repro.utils.bitops.split_bits` for why this matters to the
+    sensitivity predictor); pass ``mode="floor"`` for two's complement.
+    """
+    high, low = split_bits(
+        np.asarray(q, dtype=np.int64), low_bits, signed=qp.signed, mode=mode
+    )
+    return BitPlanes(high=high, low=low, low_bits=low_bits, qparams=qp)
+
+
+def cross_terms(
+    a: BitPlanes, b: BitPlanes
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The four elementwise Eq.-3 cross terms, already shifted.
+
+    Returned in paper order: (HH << 2N, HL << N, LH << N, LL); their sum is
+    exactly ``a.recompose() * b.recompose()``.
+    """
+    if a.low_bits != b.low_bits:
+        raise ValueError("operands must share the same low-bit width")
+    n = a.low_bits
+    hh = (a.high * b.high) << (2 * n)
+    hl = (a.high * b.low) << n
+    lh = (a.low * b.high) << n
+    ll = a.low * b.low
+    return hh, hl, lh, ll
+
+
+def predictor_term(a: BitPlanes, b: BitPlanes) -> np.ndarray:
+    """Only the dominant HH term (what the sensitivity predictor computes)."""
+    return (a.high * b.high) << (2 * a.low_bits)
+
+
+__all__ = ["BitPlanes", "split_planes", "cross_terms", "predictor_term"]

@@ -1,0 +1,163 @@
+"""DoReFa-Net quantizers with straight-through-estimator training support.
+
+The paper builds its ODQ system "leveraging DoReFa-Net" [27]: networks are
+trained with k-bit weights and activations, then ODQ runs dynamic
+mixed-precision inference on top.  This module provides
+
+* the DoReFa weight transform  ``w -> 2 * Q_k(tanh(w)/(2 max|tanh(w)|) + 1/2) - 1``
+* the DoReFa activation transform  ``a -> Q_k(clip(a, 0, 1))``
+* autograd-compatible fake-quant ops (STE: identity gradient inside the
+  clipping range), and
+* :func:`quantize_model_inplace`, which swaps every ``Conv2d``/``Linear``
+  in a model for a quantization-aware twin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Conv2d, Linear, Module, swap_modules
+from repro.nn.tensor import Tensor
+
+
+def quantize_k(x: np.ndarray, bits: int) -> np.ndarray:
+    """DoReFa's Q_k: round a [0,1] value to ``2**bits - 1`` uniform levels."""
+    levels = float(2**bits - 1)
+    return np.round(np.clip(x, 0.0, 1.0) * levels) / levels
+
+
+def dorefa_weight_transform(w: np.ndarray, bits: int) -> np.ndarray:
+    """Forward value of DoReFa weight quantization (output in [-1, 1])."""
+    t = np.tanh(w)
+    denom = 2.0 * max(float(np.max(np.abs(t))), 1e-12)
+    return 2.0 * quantize_k(t / denom + 0.5, bits) - 1.0
+
+
+def fake_quant_weight(w: Tensor, bits: int) -> Tensor:
+    """STE fake-quantized weights.
+
+    Forward: DoReFa transform.  Backward: straight-through — the gradient
+    passes unchanged, which is DoReFa's training rule for weights.
+    """
+    if bits >= 32:
+        return w
+    out_data = dorefa_weight_transform(w.data, bits)
+
+    def backward(g: np.ndarray) -> None:
+        w._accumulate(g)
+
+    return Tensor.from_op(out_data, (w,), backward, "fake_quant_w")
+
+
+def fake_quant_act(a: Tensor, bits: int) -> Tensor:
+    """STE fake-quantized activations.
+
+    Forward: clip to [0, 1] then Q_k.  Backward: identity inside the clip
+    range, zero outside (the clip's own subgradient).
+    """
+    if bits >= 32:
+        return a
+    mask = (a.data >= 0.0) & (a.data <= 1.0)
+    out_data = quantize_k(a.data, bits)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(g * mask)
+
+    return Tensor.from_op(out_data, (a,), backward, "fake_quant_a")
+
+
+class QuantConv2d(Conv2d):
+    """Conv2d whose weights (and optionally input activations) are
+    fake-quantized during the forward pass, DoReFa-style."""
+
+    def __init__(self, *args, w_bits: int = 4, a_bits: int = 4, quant_input: bool = True, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.w_bits = w_bits
+        self.a_bits = a_bits
+        self.quant_input = quant_input
+
+    @classmethod
+    def from_conv(cls, conv: Conv2d, w_bits: int, a_bits: int, quant_input: bool = True) -> "QuantConv2d":
+        q = cls(
+            conv.in_channels,
+            conv.out_channels,
+            conv.kernel_size,
+            conv.stride,
+            conv.padding,
+            bias=conv.bias is not None,
+            w_bits=w_bits,
+            a_bits=a_bits,
+            quant_input=quant_input,
+        )
+        q.weight = conv.weight
+        q.bias = conv.bias
+        return q
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.quant_input:
+            x = fake_quant_act(x, self.a_bits)
+        w = fake_quant_weight(self.weight, self.w_bits)
+        return F.conv2d(x, w, self.bias, self.stride, self.padding)
+
+
+class QuantLinear(Linear):
+    """Linear layer with DoReFa fake-quantized weights."""
+
+    def __init__(self, *args, w_bits: int = 4, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.w_bits = w_bits
+
+    @classmethod
+    def from_linear(cls, lin: Linear, w_bits: int) -> "QuantLinear":
+        q = cls(lin.in_features, lin.out_features, bias=lin.bias is not None, w_bits=w_bits)
+        q.weight = lin.weight
+        q.bias = lin.bias
+        return q
+
+    def forward(self, x: Tensor) -> Tensor:
+        w = fake_quant_weight(self.weight, self.w_bits)
+        return F.linear(x, w, self.bias)
+
+
+def quantize_model_inplace(
+    model: Module,
+    w_bits: int = 4,
+    a_bits: int = 4,
+    skip_first_conv: bool = True,
+    quantize_linear: bool = True,
+) -> Module:
+    """Replace Conv2d/Linear layers with DoReFa fake-quant twins.
+
+    Following DoReFa and the DRQ/ODQ evaluation convention, the first
+    convolution (raw-pixel input) is kept at full precision by default,
+    since its input is not a post-ReLU [0,1] feature map.
+    """
+    state = {"first_seen": False}
+
+    def transform(m: Module) -> Module:
+        if isinstance(m, QuantConv2d) or isinstance(m, QuantLinear):
+            return m
+        if isinstance(m, Conv2d):
+            if skip_first_conv and not state["first_seen"]:
+                state["first_seen"] = True
+                return m
+            state["first_seen"] = True
+            return QuantConv2d.from_conv(m, w_bits, a_bits)
+        if isinstance(m, Linear) and quantize_linear:
+            return QuantLinear.from_linear(m, w_bits)
+        return m
+
+    swap_modules(model, transform)
+    return model
+
+
+__all__ = [
+    "quantize_k",
+    "dorefa_weight_transform",
+    "fake_quant_weight",
+    "fake_quant_act",
+    "QuantConv2d",
+    "QuantLinear",
+    "quantize_model_inplace",
+]

@@ -1,0 +1,105 @@
+"""Batch-normalization folding.
+
+Accelerator deployments (including the paper's: the ODQ hardware has no
+floating-point BN unit) fold eval-mode batch norm into the preceding
+convolution:
+
+    BN(conv(x, W) + b) == conv(x, W * g) + (b * g + h),
+    g = gamma / sqrt(var + eps),  h = beta - mean * g   (per out-channel)
+
+Folding matters doubly for ODQ: the conv output *is* then the pre-ReLU
+activation, so the sensitivity threshold sees values whose scale is
+normalized by BN (making the paper's single per-model threshold
+meaningful) and whose negative half is largely ReLU-dead (making coarse
+partial values harmless for most insensitive outputs).
+
+Two structural patterns are folded:
+
+* a ``Conv2d`` immediately followed by a ``BatchNorm2d`` inside a
+  ``Sequential``;
+* sibling attributes ``convN`` / ``bnN`` on the same module (the ResNet
+  block layout).
+
+Pre-activation networks (DenseNet's BN-ReLU-conv) have no conv->BN edge
+and are left unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2d, Conv2d, Identity, Module, Sequential
+from repro.nn.tensor import Tensor
+
+
+def fold_conv_bn(conv: Conv2d, bn: BatchNorm2d) -> Conv2d:
+    """Return a new Conv2d equivalent to ``bn(conv(.))`` at eval time."""
+    if bn.num_features != conv.out_channels:
+        raise ValueError(
+            f"BN features {bn.num_features} != conv out channels {conv.out_channels}"
+        )
+    scale, shift = bn.fold_affine()
+    folded = Conv2d(
+        conv.in_channels,
+        conv.out_channels,
+        conv.kernel_size,
+        conv.stride,
+        conv.padding,
+        bias=True,
+    )
+    folded.weight = Tensor(
+        conv.weight.data * scale.reshape(-1, 1, 1, 1), requires_grad=True
+    )
+    bias = conv.bias.data if conv.bias is not None else 0.0
+    folded.bias = Tensor(bias * scale + shift, requires_grad=True)
+    return folded
+
+
+def fold_batchnorm(model: Module) -> int:
+    """Fold every conv->BN edge in ``model`` in place; returns fold count.
+
+    The model must be in eval mode (folding bakes in running statistics).
+    """
+    if model.training:
+        raise RuntimeError("call model.eval() before folding batch norm")
+    folds = 0
+
+    for _, module in list(model.named_modules()):
+        # Pattern 1: adjacent entries of a Sequential.
+        if isinstance(module, Sequential):
+            layers = module.layers
+            for i in range(len(layers) - 1):
+                if isinstance(layers[i], Conv2d) and isinstance(
+                    layers[i + 1], BatchNorm2d
+                ):
+                    layers[i] = fold_conv_bn(layers[i], layers[i + 1])
+                    layers[i + 1] = Identity()
+                    folds += 1
+        # Pattern 2: convN / bnN sibling attributes (ResNet blocks).  Only
+        # folded when the BN matches the conv's *output* channels and the
+        # conv attribute was defined before the BN (post-activation order;
+        # pre-activation blocks like DenseNet define BN first and must be
+        # left alone).
+        names = list(module.__dict__)
+        for name in names:
+            if not name.startswith("conv"):
+                continue
+            suffix = name[len("conv"):]
+            bn_name = f"bn{suffix}"
+            conv = getattr(module, name, None)
+            bn = getattr(module, bn_name, None)
+            if not (isinstance(conv, Conv2d) and isinstance(bn, BatchNorm2d)):
+                continue
+            if type(conv) is not Conv2d:
+                continue
+            if bn.num_features != conv.out_channels:
+                continue
+            if bn_name in names and names.index(bn_name) < names.index(name):
+                continue  # BN precedes conv: pre-activation layout
+            setattr(module, name, fold_conv_bn(conv, bn))
+            setattr(module, bn_name, Identity())
+            folds += 1
+    return folds
+
+
+__all__ = ["fold_conv_bn", "fold_batchnorm"]

@@ -1,0 +1,96 @@
+"""Range observers for post-training calibration.
+
+An observer watches tensors flowing through a point in the network during
+calibration passes, then freezes into :class:`~repro.quant.uniform.QParams`.
+The quantized inference pipelines (``repro.core.pipeline``) install one
+observer per convolution input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.uniform import QParams, affine_qparams, symmetric_qparams
+
+
+class Observer:
+    """Base observer interface."""
+
+    def observe(self, x: np.ndarray) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def qparams(self, bits: int, signed: bool) -> QParams:  # pragma: no cover
+        raise NotImplementedError
+
+
+class MinMaxObserver(Observer):
+    """Tracks the running min/max over all observed batches."""
+
+    def __init__(self):
+        self.lo = np.inf
+        self.hi = -np.inf
+        self.count = 0
+
+    def observe(self, x: np.ndarray) -> None:
+        x = np.asarray(x)
+        if x.size == 0:
+            return
+        self.lo = min(self.lo, float(x.min()))
+        self.hi = max(self.hi, float(x.max()))
+        self.count += x.size
+
+    def qparams(self, bits: int, signed: bool) -> QParams:
+        if self.count == 0:
+            raise RuntimeError("observer has seen no data; run calibration first")
+        if signed:
+            return symmetric_qparams(max(abs(self.lo), abs(self.hi)), bits)
+        return affine_qparams(self.lo, self.hi, bits)
+
+
+class PercentileObserver(Observer):
+    """Clips the range to a percentile of observed magnitudes.
+
+    More robust than min/max against activation outliers at very low bit
+    widths (the INT4 regime ODQ operates in), at the cost of saturating
+    the tail.  Keeps a bounded reservoir sample so memory stays constant.
+    """
+
+    def __init__(self, percentile: float = 99.9, reservoir: int = 2**16, seed: int = 0):
+        if not 50.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (50, 100]")
+        self.percentile = percentile
+        self.reservoir_size = reservoir
+        self._samples: list[np.ndarray] = []
+        self._n_held = 0
+        self.count = 0
+        self._rng = np.random.default_rng(seed)
+
+    def observe(self, x: np.ndarray) -> None:
+        flat = np.asarray(x, dtype=np.float64).reshape(-1)
+        self.count += flat.size
+        if self._n_held + flat.size <= self.reservoir_size:
+            self._samples.append(flat.copy())
+            self._n_held += flat.size
+        else:
+            take = self._rng.choice(
+                flat.size, size=min(self.reservoir_size // 4, flat.size), replace=False
+            )
+            self._samples.append(flat[take])
+            self._n_held += take.size
+
+    def _pool(self) -> np.ndarray:
+        if not self._samples:
+            raise RuntimeError("observer has seen no data; run calibration first")
+        return np.concatenate(self._samples)
+
+    def qparams(self, bits: int, signed: bool) -> QParams:
+        pool = self._pool()
+        if signed:
+            mag = float(np.percentile(np.abs(pool), self.percentile))
+            return symmetric_qparams(mag, bits)
+        lo = float(np.percentile(pool, 100.0 - self.percentile))
+        hi = float(np.percentile(pool, self.percentile))
+        return affine_qparams(lo, hi, bits)
+
+
+__all__ = ["Observer", "MinMaxObserver", "PercentileObserver"]

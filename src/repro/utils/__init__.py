@@ -1,0 +1,33 @@
+"""Shared utilities: RNG handling, im2col transforms, bit manipulation,
+and ASCII reporting used by the benchmark harness."""
+
+from repro.utils.rng import new_rng, seed_everything
+from repro.utils.im2col import (
+    conv_output_size,
+    im2col,
+    col2im,
+    pad_nchw,
+)
+from repro.utils.bitops import (
+    split_bits,
+    merge_bits,
+    bit_plane,
+    int_range,
+)
+from repro.utils.report import ascii_table, ascii_bar_chart, format_percent
+
+__all__ = [
+    "new_rng",
+    "seed_everything",
+    "conv_output_size",
+    "im2col",
+    "col2im",
+    "pad_nchw",
+    "split_bits",
+    "merge_bits",
+    "bit_plane",
+    "int_range",
+    "ascii_table",
+    "ascii_bar_chart",
+    "format_percent",
+]

@@ -1,0 +1,85 @@
+"""Integer bit-plane manipulation used by the Eq.-3 decomposition.
+
+The paper splits every INT4 operand ``q`` into a high-order slice (2 bits,
+``HBS``) and a low-order slice (2 bits, ``LBS``) such that
+
+    q = (HBS << N_LBS) + LBS.
+
+For *unsigned* operands (post-ReLU activations) HBS is simply ``q >> 2``.
+For *signed* operands (weights) we use arithmetic (floor) division so that
+HBS keeps the sign and LBS stays in ``[0, 2**N_LBS)``; the identity above
+then holds for every representable signed value, which is what makes the
+four-term recomposition in Eq. 3 exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def int_range(bits: int, signed: bool) -> tuple[int, int]:
+    """Inclusive (lo, hi) representable range of a ``bits``-wide integer."""
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    if signed:
+        return -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+    return 0, 2**bits - 1
+
+
+def split_bits(
+    q: np.ndarray, low_bits: int, signed: bool, mode: str = "floor"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split integer array ``q`` into (high, low) slices.
+
+    Two signed conventions are supported, both satisfying
+    ``merge_bits(high, low, low_bits) == q`` exactly:
+
+    * ``mode="floor"`` — two's-complement style: ``high = q // 2**n`` and
+      ``low`` in ``[0, 2**n)``.  Small *negative* values get ``high = -1``
+      while small positive values get ``high = 0``, so a high-slice-only
+      partial product is biased negative.
+    * ``mode="sign_magnitude"`` — split ``|q|`` and reapply the sign to
+      both slices: ``high = sign(q) * (|q| >> n)``.  Small values of
+      either sign get ``high = 0``, which makes the high slice an
+      *unbiased magnitude* estimate — this is what the ODQ sensitivity
+      predictor needs from weights, and mirrors the sign-magnitude
+      datapaths common in low-precision accelerators.
+
+    Unsigned splits ignore ``mode`` (the two coincide).
+    """
+    q = np.asarray(q)
+    if not np.issubdtype(q.dtype, np.integer):
+        raise TypeError(f"split_bits expects an integer array, got {q.dtype}")
+    base = 1 << low_bits
+    if not signed or not np.any(q < 0):
+        if not signed and np.any(q < 0):
+            raise ValueError("unsigned split received negative values")
+        high = q >> low_bits
+        low = q & (base - 1)
+    elif mode == "floor":
+        high = np.floor_divide(q, base)
+        low = q - high * base
+    elif mode == "sign_magnitude":
+        sign = np.sign(q)
+        mag = np.abs(q)
+        high = sign * (mag >> low_bits)
+        low = sign * (mag & (base - 1))
+    else:
+        raise ValueError(f"unknown split mode {mode!r}")
+    return high.astype(q.dtype), low.astype(q.dtype)
+
+
+def merge_bits(high: np.ndarray, low: np.ndarray, low_bits: int) -> np.ndarray:
+    """Inverse of :func:`split_bits`: ``(high << low_bits) + low``."""
+    return (np.asarray(high) << low_bits) + np.asarray(low)
+
+
+def bit_plane(q: np.ndarray, plane: int) -> np.ndarray:
+    """Extract a single bit plane (0 = LSB) of a non-negative integer array."""
+    q = np.asarray(q)
+    if np.any(q < 0):
+        raise ValueError("bit_plane expects non-negative values")
+    return (q >> plane) & 1
+
+
+__all__ = ["int_range", "split_bits", "merge_bits", "bit_plane"]

@@ -1,0 +1,72 @@
+"""Plain-text rendering of paper-style tables and bar charts.
+
+The benchmark harness regenerates every table and figure of the paper as
+ASCII so the comparison with the published artefact can be read straight
+off a terminal (no plotting dependencies are available offline).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_percent(x: float, digits: int = 1) -> str:
+    """Render a fraction in [0, 1] as a percentage string."""
+    return f"{100.0 * x:.{digits}f}%"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a list of rows as a fixed-width ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(fmt(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str | None = None,
+    width: int = 50,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render labelled values as a horizontal ASCII bar chart.
+
+    Bars are scaled so the maximum value fills ``width`` characters; zero
+    and negative values render as empty bars with their numeric value
+    still printed.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    vmax = max((v for v in values if v > 0), default=1.0)
+    label_w = max((len(l) for l in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        n = int(round(width * max(value, 0.0) / vmax)) if vmax > 0 else 0
+        lines.append(f"{label.ljust(label_w)} | {'#' * n} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+__all__ = ["format_percent", "ascii_table", "ascii_bar_chart"]

@@ -1,0 +1,41 @@
+"""Deterministic random-number handling.
+
+Every stochastic component in the library takes either a seed or a
+``numpy.random.Generator``; this module provides the single conversion
+point so experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.config import DEFAULT_SEED
+
+
+def new_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator``.
+
+    Accepts ``None`` (library default seed), an integer seed, or an existing
+    generator (returned unchanged so call sites can thread one RNG through
+    a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(seed)
+
+
+def seed_everything(seed: int = DEFAULT_SEED) -> None:
+    """Seed both the stdlib and NumPy legacy global RNGs.
+
+    Library code never uses global RNG state, but examples and third-party
+    callers may; this is a convenience for them.
+    """
+    random.seed(seed)
+    np.random.seed(seed % 2**32)
+
+
+__all__ = ["new_rng", "seed_everything"]

@@ -1,0 +1,128 @@
+"""PE-array allocation: Table 1 exactness, dynamic choice, idle model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.accel.alloc import (
+    PEAllocation,
+    choose_allocation,
+    idle_fractions,
+    max_sensitive_fraction,
+    table1_configurations,
+)
+
+
+class TestTable1:
+    def test_exact_paper_values(self):
+        """Table 1 of the paper, floored percentages."""
+        expected = {(9, 18): 66, (12, 15): 41, (15, 12): 26, (18, 9): 16, (21, 6): 9}
+        for cfg in table1_configurations():
+            key = (cfg.predictor_arrays, cfg.executor_arrays)
+            assert int(100 * cfg.max_sensitive_fraction) == expected[key]
+
+    def test_five_configurations(self):
+        configs = table1_configurations()
+        assert len(configs) == 5
+        assert all(c.predictor_arrays + c.executor_arrays == 27 for c in configs)
+
+    def test_balance_formula(self):
+        assert max_sensitive_fraction(9, 18) == pytest.approx(18 / 27)
+        assert max_sensitive_fraction(18, 9) == pytest.approx(9 / 54)
+
+
+class TestPEAllocation:
+    def test_fixed_array_minimums_enforced(self):
+        with pytest.raises(ValueError):
+            PEAllocation(8, 19)  # below 9 fixed predictor arrays
+        with pytest.raises(ValueError):
+            PEAllocation(22, 5)  # below 6 fixed executor arrays
+
+    def test_must_use_all_arrays(self):
+        with pytest.raises(ValueError):
+            PEAllocation(9, 9)
+
+    def test_str(self):
+        assert str(PEAllocation(18, 9)) == "P18/E9"
+
+
+class TestChooseAllocation:
+    def test_paper_example_15_percent(self):
+        """Section 4.3's worked example: 15% sensitive -> 18/9 split."""
+        alloc = choose_allocation(0.15)
+        assert (alloc.predictor_arrays, alloc.executor_arrays) == (18, 9)
+
+    def test_extremes(self):
+        assert choose_allocation(0.05).predictor_arrays == 21
+        assert choose_allocation(0.60).predictor_arrays == 9
+
+    def test_above_max_falls_back_to_most_executor_heavy(self):
+        alloc = choose_allocation(0.9)
+        assert alloc.predictor_arrays == 9
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            choose_allocation(1.5)
+
+    @given(st.floats(min_value=0.0, max_value=0.66))
+    def test_chosen_config_is_bubble_free(self, s):
+        """Property: within the feasible range the chosen config covers s."""
+        alloc = choose_allocation(s)
+        assert alloc.max_sensitive_fraction >= s
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.floats(min_value=0.0, max_value=1.0))
+    def test_more_sensitivity_never_more_predictor_arrays(self, a, b):
+        lo, hi = sorted((a, b))
+        assert (
+            choose_allocation(hi).predictor_arrays
+            <= choose_allocation(lo).predictor_arrays
+        )
+
+
+class TestIdleFractions:
+    def test_balanced_point_no_idle(self):
+        alloc = PEAllocation(9, 18)
+        stats = idle_fractions(18 / 27, alloc)
+        assert stats.predictor_idle_fraction == pytest.approx(0.0)
+        assert stats.executor_idle_fraction == pytest.approx(0.0, abs=1e-12)
+        assert stats.overall_idle_fraction == pytest.approx(0.0, abs=1e-12)
+
+    def test_low_sensitivity_idles_executor(self):
+        alloc = PEAllocation(12, 15)  # bubble-free up to 41%
+        stats = idle_fractions(0.1, alloc)
+        assert stats.executor_idle_fraction > 0.5
+        assert stats.predictor_idle_fraction == 0.0
+
+    def test_high_sensitivity_idles_predictor(self):
+        alloc = PEAllocation(18, 9)  # bubble-free up to 16%
+        stats = idle_fractions(0.5, alloc)
+        assert stats.predictor_idle_fraction > 0.5
+        assert stats.executor_idle_fraction == pytest.approx(0.0, abs=1e-12)
+
+    def test_static_allocation_idles_like_fig11(self):
+        """Fig. 11's observation: fixed splits leave 14-50% of PEs idle
+        across realistic per-layer sensitivities."""
+        alloc = PEAllocation(12, 15)
+        sensitivities = [0.10, 0.20, 0.30, 0.50]
+        overall = [idle_fractions(s, alloc).overall_idle_fraction for s in sensitivities]
+        assert max(overall) > 0.3
+        assert all(o >= 0.0 for o in overall)
+
+    def test_dynamic_beats_static_on_average(self):
+        sensitivities = [0.08, 0.15, 0.25, 0.40, 0.55]
+        static = PEAllocation(12, 15)
+        static_idle = sum(
+            idle_fractions(s, static).overall_idle_fraction for s in sensitivities
+        )
+        dynamic_idle = sum(
+            idle_fractions(s, choose_allocation(s)).overall_idle_fraction
+            for s in sensitivities
+        )
+        assert dynamic_idle < static_idle
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_idle_fractions_bounded(self, s):
+        for alloc in table1_configurations():
+            stats = idle_fractions(s, alloc)
+            assert 0.0 <= stats.predictor_idle_fraction <= 1.0
+            assert 0.0 <= stats.executor_idle_fraction <= 1.0
+            assert 0.0 <= stats.overall_idle_fraction <= 1.0

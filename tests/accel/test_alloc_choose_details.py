@@ -1,0 +1,42 @@
+"""Worked numerical examples for the allocation model (paper Section 4.2)."""
+
+import pytest
+
+from repro.accel.alloc import PEAllocation, choose_allocation, idle_fractions
+
+
+class TestPaperWorkedExample:
+    """Section 4.3: 'Assuming that after the first 21 OFMs are computed in
+    the predictor, an average of 15% of the high-precision output features
+    are identified... we reconfigure the PE arrays so that the predictor
+    uses 18 PE arrays and the executor uses the remaining nine.'"""
+
+    def test_15_percent_gives_18_9(self):
+        alloc = choose_allocation(0.15)
+        assert (alloc.predictor_arrays, alloc.executor_arrays) == (18, 9)
+
+    def test_at_18_9_with_15_percent_executor_slack(self):
+        stats = idle_fractions(0.15, PEAllocation(18, 9))
+        # 15% < 16% bubble-free bound: executor has slack, predictor full.
+        assert stats.predictor_idle_fraction == 0.0
+        assert 0.0 < stats.executor_idle_fraction < 0.15
+
+    def test_50_percent_sensitive_needs_1_5x_executor(self):
+        """Section 4.2: 'With 50% sensitive output features, the result
+        generator has a 1.5x higher computational load than the
+        sensitivity predictor.'  Load ratio = 3 cycles * 0.5 = 1.5."""
+        from repro.config import EXECUTOR_MAC_CYCLES, PREDICTOR_MAC_CYCLES
+
+        load_ratio = EXECUTOR_MAC_CYCLES * 0.5 / PREDICTOR_MAC_CYCLES
+        assert load_ratio == pytest.approx(1.5)
+
+
+class TestBoundaries:
+    def test_exact_table1_boundary_feasible(self):
+        # s exactly at a config's bound keeps that config selectable.
+        alloc = choose_allocation(9 / 54)  # 16.67% = P18/E9's exact bound
+        assert alloc.predictor_arrays == 18
+
+    def test_just_above_boundary_steps_down(self):
+        alloc = choose_allocation(9 / 54 + 1e-9)
+        assert alloc.predictor_arrays == 15

@@ -1,0 +1,35 @@
+"""Table-2 config registry and scheme-to-accelerator mapping."""
+
+import pytest
+
+from repro.accel.configs import TABLE2, accelerator_for_scheme
+from repro.config import ACCEL_DRQ, ACCEL_INT8, ACCEL_INT16, ACCEL_ODQ, PES_PER_ARRAY
+
+
+class TestTable2Registry:
+    def test_specs(self):
+        assert TABLE2["INT16"] is ACCEL_INT16
+        assert TABLE2["ODQ"].num_pes == 4860
+
+    def test_pes_per_array_divides_evenly(self):
+        assert PES_PER_ARRAY * 27 == ACCEL_ODQ.num_pes
+
+
+class TestSchemeMapping:
+    @pytest.mark.parametrize(
+        "scheme,spec",
+        [
+            ("int16", ACCEL_INT16),
+            ("INT16", ACCEL_INT16),
+            ("int8", ACCEL_INT8),
+            ("drq84", ACCEL_DRQ),
+            ("drq42", ACCEL_DRQ),
+            ("odq", ACCEL_ODQ),
+        ],
+    )
+    def test_mapping(self, scheme, spec):
+        assert accelerator_for_scheme(scheme) is spec
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            accelerator_for_scheme("fp32")

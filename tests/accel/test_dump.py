@@ -1,0 +1,86 @@
+"""Mask-dump serialization roundtrip and the CLI simulate path."""
+
+import numpy as np
+import pytest
+
+from repro.accel.dump import FORMAT_VERSION, load_workloads, save_workloads
+from repro.accel.simulator import LayerWorkload, build_accelerator
+
+
+def make_workloads(n=3):
+    rng = np.random.default_rng(0)
+    out = []
+    for i in range(n):
+        total = 8 * 8 * 8 * 16 * 9
+        out.append(
+            LayerWorkload(
+                name=f"C{i + 1}", in_channels=16, out_channels=8, kernel=3,
+                out_h=8, out_w=8, images=2,
+                macs={"pred_int2": total, "exec_int4": total // 4},
+                sensitive_fraction=0.25,
+                per_channel_sensitive=rng.integers(0, 100, 8) if i != 1 else None,
+                input_sensitive_fraction=0.4,
+            )
+        )
+    return out
+
+
+class TestRoundtrip:
+    def test_all_fields_preserved(self, tmp_path):
+        wls = make_workloads()
+        path = save_workloads(tmp_path / "masks.npz", wls)
+        loaded = load_workloads(path)
+        assert len(loaded) == len(wls)
+        for a, b in zip(wls, loaded):
+            assert a.name == b.name
+            assert a.macs == b.macs
+            assert a.sensitive_fraction == b.sensitive_fraction
+            assert a.input_sensitive_fraction == b.input_sensitive_fraction
+            if a.per_channel_sensitive is None:
+                assert b.per_channel_sensitive is None
+            else:
+                np.testing.assert_array_equal(
+                    a.per_channel_sensitive, b.per_channel_sensitive
+                )
+
+    def test_simulation_identical_after_roundtrip(self, tmp_path):
+        wls = make_workloads()
+        loaded = load_workloads(save_workloads(tmp_path / "m.npz", wls))
+        a = build_accelerator("ODQ").simulate(wls).total_cycles
+        b = build_accelerator("ODQ").simulate(loaded).total_cycles
+        assert a == b
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        bad = {"meta": np.frombuffer(
+            json.dumps({"version": 99, "layers": []}).encode(), dtype=np.uint8
+        )}
+        np.savez(tmp_path / "bad.npz", **bad)
+        with pytest.raises(ValueError):
+            load_workloads(tmp_path / "bad.npz")
+
+
+class TestCLI:
+    def test_info_and_tables(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["info"]) == 0
+        assert main(["table1"]) == 0
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "4860" in out
+
+    def test_simulate_dump(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = save_workloads(tmp_path / "m.npz", make_workloads())
+        assert main(["simulate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ODQ" in out and "norm. time" in out
+
+    def test_requires_command(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,127 @@
+"""Memory traffic and energy models."""
+
+import pytest
+
+from repro.accel.energy import (
+    DEFAULT_ENERGY,
+    EnergyBreakdown,
+    EnergyModel,
+    mac_energy_pj,
+)
+from repro.accel.memory import (
+    DEFAULT_MEMORY,
+    MemoryConfig,
+    conv_layer_traffic,
+    memory_cycles,
+)
+
+
+class TestMemory:
+    def _traffic(self, **over):
+        kwargs = dict(
+            in_channels=16, out_channels=32, kernel=3, out_h=16, out_w=16,
+            images=2, weight_bits=8, act_bits=8, reuse=DEFAULT_MEMORY.dense_reuse,
+            mem=DEFAULT_MEMORY,
+        )
+        kwargs.update(over)
+        return conv_layer_traffic(**kwargs)
+
+    def test_traffic_positive_components(self):
+        t = self._traffic()
+        assert t.weight_bytes > 0 and t.input_bytes > 0 and t.output_bytes > 0
+        assert t.total_bytes == t.weight_bytes + t.input_bytes + t.output_bytes
+
+    def test_traffic_scales_with_bits(self):
+        assert self._traffic(act_bits=16).input_bytes == 2 * self._traffic(act_bits=8).input_bytes
+
+    def test_resident_maps_cost_only_trickle(self):
+        """CIFAR-scale feature maps stay on-chip; DRAM sees 10% turnover."""
+        t = self._traffic()
+        raw_in = 2 * 16 * 16 * 16 * 8 / 8  # images*C*(H)*(W)*bits/8
+        assert t.input_bytes == pytest.approx(0.1 * raw_in)
+
+    def test_reuse_divides_input_traffic_when_spilled(self):
+        # Large maps overflow on-chip SRAM and pay im2col/reuse traffic.
+        big = dict(out_h=128, out_w=128, in_channels=64, out_channels=64)
+        assert self._traffic(reuse=32, **big).input_bytes == pytest.approx(
+            2 * self._traffic(reuse=64, **big).input_bytes
+        )
+
+    def test_oversized_weights_refetched(self):
+        small = MemoryConfig(onchip_bytes=1024)
+        t = conv_layer_traffic(64, 64, 3, 8, 8, 1, 8, 8, 64.0, small)
+        plain_bytes = 64 * 64 * 9  # one byte per weight
+        assert t.weight_bytes > plain_bytes
+
+    def test_memory_cycles(self):
+        t = self._traffic()
+        cycles = memory_cycles(t, DEFAULT_MEMORY)
+        assert cycles == pytest.approx(t.total_bytes / DEFAULT_MEMORY.dram_bandwidth_bytes_per_cycle)
+
+    def test_executor_reuse_scales_with_clusters(self):
+        mem = DEFAULT_MEMORY
+        assert mem.executor_reuse(3) == 3 * mem.sparse_reuse
+        assert mem.executor_reuse(1) == mem.sparse_reuse
+
+
+class TestEnergyModel:
+    def test_mac_energy_quadratic_trend(self):
+        m = DEFAULT_ENERGY
+        assert m.mac_pj(2) < m.mac_pj(4) < m.mac_pj(8) < m.mac_pj(16)
+        # Roughly quadratic: doubling width ~4x multiplier energy.
+        assert m.mac_pj(16) / m.mac_pj(8) > 3.0
+
+    def test_anchor_point(self):
+        assert DEFAULT_ENERGY.mac_pj(8) == pytest.approx(0.23)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            DEFAULT_ENERGY.mac_pj(0)
+
+    def test_dram_much_costlier_than_sram(self):
+        assert DEFAULT_ENERGY.dram_pj_per_byte() > 50 * DEFAULT_ENERGY.sram_pj_per_byte()
+
+
+class TestMacEnergy:
+    def test_known_classes(self):
+        e = mac_energy_pj({"int8": 1000})
+        assert e == pytest.approx(1000 * DEFAULT_ENERGY.mac_pj(8))
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(KeyError):
+            mac_energy_pj({"int3": 10})
+
+    def test_exec_class_costs_three_quarters_int4(self):
+        full = mac_energy_pj({"int4": 100})
+        execu = mac_energy_pj({"exec_int4": 100})
+        assert execu == pytest.approx(0.75 * full)
+
+    def test_odq_mac_mix_cheaper_than_static_int4(self):
+        """Predictor-everywhere + executor-on-25% must undercut full INT4."""
+        n = 10_000
+        odq = mac_energy_pj({"pred_int2": n, "exec_int4": n // 4})
+        static4 = mac_energy_pj({"int4": n})
+        assert odq < static4
+
+    def test_class_bits_override(self):
+        base = mac_energy_pj({"drq_hi": 100})
+        low = mac_energy_pj({"drq_hi": 100}, class_bits={"drq_hi": 4})
+        assert low < base
+
+
+class TestEnergyBreakdown:
+    def test_addition(self):
+        a = EnergyBreakdown(1, 2, 3, 4)
+        b = EnergyBreakdown(10, 20, 30, 40)
+        total = a + b
+        assert total.total_pj == 110
+
+    def test_normalization(self):
+        e = EnergyBreakdown(cores_pj=50, buffer_pj=25, dram_pj=25, static_pj=0)
+        shares = e.normalized_to(200.0)
+        assert shares["total"] == pytest.approx(0.5)
+        assert shares["cores"] == pytest.approx(0.25)
+
+    def test_bad_reference(self):
+        with pytest.raises(ValueError):
+            EnergyBreakdown().normalized_to(0.0)

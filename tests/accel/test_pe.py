@@ -1,0 +1,65 @@
+"""PE timing/area models."""
+
+import pytest
+
+from repro.accel.pe import (
+    AREA_BUDGET_MM2,
+    DEFAULT_TIMING,
+    PETiming,
+    bitfusion_mac_cycles,
+    pe_area_mm2,
+    pes_in_budget,
+)
+
+
+class TestBitfusionCycles:
+    def test_native_width_one_cycle(self):
+        assert bitfusion_mac_cycles(2, 2) == 1
+        assert bitfusion_mac_cycles(4, 4) == 1
+
+    def test_narrower_op_still_one_cycle(self):
+        assert bitfusion_mac_cycles(2, 4) == 1
+
+    def test_quadratic_decomposition(self):
+        assert bitfusion_mac_cycles(4, 2) == 4   # the paper's full INT4 MAC
+        assert bitfusion_mac_cycles(8, 4) == 4   # DRQ's INT8 on INT4 fabric
+        assert bitfusion_mac_cycles(8, 2) == 16
+        assert bitfusion_mac_cycles(16, 4) == 16
+
+    def test_non_multiple_rounds_up(self):
+        assert bitfusion_mac_cycles(6, 4) == 4  # ceil(6/4)=2 -> 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bitfusion_mac_cycles(0, 4)
+
+
+class TestPETiming:
+    def test_default_consistent_with_eq3(self):
+        t = DEFAULT_TIMING
+        assert t.predictor_mac + t.executor_mac == t.full_int4_mac
+        assert t.predictor_mac == 1 and t.executor_mac == 3
+
+    def test_inconsistent_rejected(self):
+        with pytest.raises(ValueError):
+            PETiming(predictor_mac=2, executor_mac=3, full_int4_mac=4)
+
+
+class TestArea:
+    def test_monotone_in_bits(self):
+        assert pe_area_mm2(2) < pe_area_mm2(4) < pe_area_mm2(8) < pe_area_mm2(16)
+
+    def test_int16_budget_matches_table2(self):
+        assert pes_in_budget(16) == 120
+
+    def test_narrow_pe_counts_order_of_table2(self):
+        """INT4/INT2 PE counts land in the same regime as Table 2
+        (1692 and 4860; an analytic area model can't be exact)."""
+        n4 = pes_in_budget(4)
+        n2 = pes_in_budget(2)
+        assert 1100 < n4 < 2500
+        assert 3500 < n2 < 6500
+        assert n2 > n4 > 120
+
+    def test_budget_scales_linearly(self):
+        assert pes_in_budget(16, 2 * AREA_BUDGET_MM2) == 240

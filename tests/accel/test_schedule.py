@@ -1,0 +1,135 @@
+"""Executor workload scheduling (Figs 14-16)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.schedule import (
+    candidate_sets,
+    ideal_dynamic_schedule,
+    odq_dynamic_schedule,
+    static_schedule,
+)
+
+
+class TestPaperExample:
+    """The worked example of Figures 14-15: six arrays, loads 7/4/4/7/4/4."""
+
+    def test_static_takes_21_cycles(self):
+        res = static_schedule([7, 4, 4, 7, 4, 4], 6)
+        assert res.makespan_cycles == 21
+        assert res.idle_cycles == 4 * 9  # four light arrays wait 9 cycles
+
+    def test_ideal_dynamic_takes_15_cycles(self):
+        res = ideal_dynamic_schedule([7, 4, 4, 7, 4, 4], 6)
+        assert res.makespan_cycles == 15
+        assert res.idle_fraction == 0.0
+
+    def test_odq_dynamic_reaches_ideal_on_example(self):
+        # Per-channel loads summing to 30 over 6 arrays -> 5 rounds = 15 cycles.
+        res = odq_dynamic_schedule([11, 7, 6, 6], 6, granularity=1)
+        assert res.makespan_cycles == 15
+
+
+class TestStaticSchedule:
+    def test_round_robin_assignment(self):
+        res = static_schedule([3, 1], 2)
+        np.testing.assert_array_equal(res.busy_cycles, [9, 3])
+        assert res.makespan_cycles == 9
+
+    def test_empty_workloads(self):
+        res = static_schedule([], 4)
+        assert res.makespan_cycles == 0
+        assert res.idle_fraction == 0.0
+
+    def test_invalid_arrays(self):
+        with pytest.raises(ValueError):
+            static_schedule([1], 0)
+
+    def test_negative_workloads_rejected(self):
+        with pytest.raises(ValueError):
+            static_schedule([-1], 2)
+
+
+class TestIdealDynamic:
+    def test_perfect_balance(self):
+        res = ideal_dynamic_schedule([10, 10], 4)
+        np.testing.assert_array_equal(res.busy_cycles, [15, 15, 15, 15])
+
+    def test_remainder_spread(self):
+        res = ideal_dynamic_schedule([7], 3)
+        assert sorted(res.busy_cycles.tolist()) == [6, 6, 9]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=20),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_never_worse_than_static(self, loads, n):
+        """Property: ideal dynamic makespan <= static makespan."""
+        assert (
+            ideal_dynamic_schedule(loads, n).makespan_cycles
+            <= static_schedule(loads, n).makespan_cycles
+        )
+
+
+class TestCandidateSets:
+    def test_each_cluster_covers_all_channels(self):
+        sets = candidate_sets(n_channels=4, n_arrays=6, clusters=3, channels_per_array=2)
+        per_cluster = 2
+        for c in range(3):
+            covered = set()
+            for a in range(c * per_cluster, (c + 1) * per_cluster):
+                covered.update(sets[a])
+            assert covered == {0, 1, 2, 3}
+
+    def test_widens_sets_when_channels_exceed_capacity(self):
+        sets = candidate_sets(n_channels=16, n_arrays=6, clusters=3, channels_per_array=2)
+        union = set()
+        for s in sets:
+            union.update(s)
+        assert union == set(range(16))
+
+    def test_pairings_differ_across_clusters(self):
+        sets = candidate_sets(n_channels=4, n_arrays=6, clusters=3, channels_per_array=2)
+        cluster_pairs = [frozenset(map(tuple, sets[c * 2 : (c + 1) * 2])) for c in range(3)]
+        assert len(set(cluster_pairs)) > 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            candidate_sets(0, 6)
+
+
+class TestODQDynamic:
+    def test_zero_work(self):
+        res = odq_dynamic_schedule([0, 0, 0], 6)
+        assert res.makespan_cycles == 0
+
+    def test_all_work_completed(self):
+        loads = [13, 2, 40, 7]
+        res = odq_dynamic_schedule(loads, 6, granularity=1)
+        assert res.busy_cycles.sum() == sum(loads) * 3
+
+    @settings(deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=2, max_size=12),
+        st.integers(min_value=2, max_value=9),
+    )
+    def test_bounded_by_static_and_ideal(self, loads, n):
+        """Property: ideal <= odq-dynamic; odq-dynamic work conserved."""
+        ideal = ideal_dynamic_schedule(loads, n).makespan_cycles
+        odq = odq_dynamic_schedule(loads, n, granularity=1)
+        assert odq.makespan_cycles >= ideal
+        assert odq.busy_cycles.sum() == sum(loads) * 3
+
+    def test_granularity_speeds_simulation_with_bounded_error(self):
+        rng = np.random.default_rng(0)
+        loads = rng.integers(0, 500, 32).tolist()
+        fine = odq_dynamic_schedule(loads, 9, granularity=1).makespan_cycles
+        coarse = odq_dynamic_schedule(loads, 9, granularity=16).makespan_cycles
+        assert abs(coarse - fine) / max(fine, 1) < 0.25
+
+    def test_skewed_loads_better_than_static(self):
+        loads = [100, 1, 1, 1, 1, 1]
+        st_res = static_schedule(loads, 6)
+        dy_res = odq_dynamic_schedule(loads, 6, granularity=1)
+        assert dy_res.makespan_cycles < st_res.makespan_cycles

@@ -1,0 +1,176 @@
+"""Network simulation on the Table-2 accelerators."""
+
+import numpy as np
+import pytest
+
+from repro.accel.alloc import PEAllocation
+from repro.accel.simulator import (
+    DRQAccelerator,
+    Int8Accelerator,
+    Int16Accelerator,
+    LayerWorkload,
+    ODQAccelerator,
+    build_accelerator,
+    workloads_from_records,
+)
+from repro.config import PES_PER_ARRAY
+
+
+def make_workload(sensitive=0.25, images=2, out_c=8, hw=8, in_c=16, k=3, macs=None):
+    total_outputs = images * out_c * hw * hw
+    mpo = k * k * in_c
+    wl = LayerWorkload(
+        name="C1",
+        in_channels=in_c,
+        out_channels=out_c,
+        kernel=k,
+        out_h=hw,
+        out_w=hw,
+        images=images,
+        macs=macs or {},
+        sensitive_fraction=sensitive,
+    )
+    if not wl.macs:
+        total = wl.total_macs
+        wl.macs = {
+            "int16": total,
+            "int8": total,
+            "drq_hi": total // 2,
+            "drq_lo": total - total // 2,
+            "pred_int2": total,
+            "exec_int4": int(total * sensitive),
+        }
+    counts = np.random.default_rng(0).multinomial(
+        int(total_outputs * sensitive), np.ones(out_c) / out_c
+    )
+    wl.per_channel_sensitive = counts
+    wl.input_sensitive_fraction = 0.5
+    return wl
+
+
+class TestWorkload:
+    def test_totals(self):
+        wl = make_workload()
+        assert wl.macs_per_output == 144
+        assert wl.total_outputs == 2 * 8 * 8 * 8
+        assert wl.total_macs == wl.total_outputs * 144
+
+
+class TestFactory:
+    def test_builds_all_table2(self):
+        for name, cls in [("INT16", Int16Accelerator), ("INT8", Int8Accelerator),
+                          ("DRQ", DRQAccelerator), ("ODQ", ODQAccelerator)]:
+            assert isinstance(build_accelerator(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            build_accelerator("TPU")
+
+
+class TestComputeModels:
+    def test_int16_throughput(self):
+        wl = make_workload()
+        accel = Int16Accelerator()
+        assert accel.compute_cycles(wl) == pytest.approx(wl.total_macs / 120)
+
+    def test_int8_is_4_cycles_per_mac(self):
+        wl = make_workload()
+        accel = Int8Accelerator()
+        assert accel.compute_cycles(wl) == pytest.approx(wl.total_macs * 4 / 1692)
+
+    def test_drq_between_int4_and_int8(self):
+        wl = make_workload()
+        drq = DRQAccelerator().compute_cycles(wl)
+        all_hi = wl.total_macs * 4 / 1692
+        all_lo = wl.total_macs * 1 / 1692
+        assert all_lo < drq < all_hi
+
+    def test_odq_pipeline_balance(self):
+        """At low sensitivity the predictor dominates; compute time matches
+        the predictor-side analytic value under the chosen allocation."""
+        wl = make_workload(sensitive=0.10)
+        accel = ODQAccelerator(scheduler="static")
+        cycles = accel.compute_cycles(wl)
+        # choose_allocation(0.10) -> P18/E9.
+        pred = wl.total_macs / (18 * PES_PER_ARRAY)
+        assert cycles >= pred * 0.99
+
+    def test_odq_static_allocation_override(self):
+        wl = make_workload(sensitive=0.5)
+        dyn = ODQAccelerator().compute_cycles(wl)
+        bad_static = ODQAccelerator(allocation=PEAllocation(21, 6)).compute_cycles(wl)
+        assert bad_static > dyn
+
+    def test_odq_zero_sensitivity_pure_predictor(self):
+        wl = make_workload(sensitive=0.0)
+        wl.macs["exec_int4"] = 0
+        wl.per_channel_sensitive = np.zeros(8, dtype=np.int64)
+        accel = ODQAccelerator()
+        c = accel.compute_cycles(wl)
+        assert c == pytest.approx(wl.total_macs / (21 * PES_PER_ARRAY))
+
+
+class TestOrderings:
+    """The paper's headline orderings must hold for any plausible layer."""
+
+    @pytest.mark.parametrize("sensitive", [0.1, 0.25, 0.5])
+    def test_cycles_ordering(self, sensitive):
+        wl = make_workload(sensitive=sensitive)
+        t16 = Int16Accelerator().simulate([wl]).total_cycles
+        t8 = Int8Accelerator().simulate([wl]).total_cycles
+        tdrq = DRQAccelerator().simulate([wl]).total_cycles
+        todq = ODQAccelerator().simulate([wl]).total_cycles
+        assert todq < tdrq < t8 < t16
+
+    @pytest.mark.parametrize("sensitive", [0.1, 0.25, 0.5])
+    def test_energy_ordering(self, sensitive):
+        wl = make_workload(sensitive=sensitive)
+        e16 = Int16Accelerator().simulate([wl]).total_energy.total_pj
+        e8 = Int8Accelerator().simulate([wl]).total_energy.total_pj
+        edrq = DRQAccelerator().simulate([wl]).total_energy.total_pj
+        eodq = ODQAccelerator().simulate([wl]).total_energy.total_pj
+        assert eodq < edrq < e8 < e16
+
+    def test_more_sensitivity_more_odq_time(self):
+        lo = ODQAccelerator().simulate([make_workload(sensitive=0.1)]).total_cycles
+        hi = ODQAccelerator().simulate([make_workload(sensitive=0.6)]).total_cycles
+        assert hi > lo
+
+
+class TestSimResult:
+    def test_layer_results_populated(self):
+        wl = make_workload()
+        sim = ODQAccelerator().simulate([wl, wl])
+        assert len(sim.layers) == 2
+        layer = sim.layers[0]
+        assert layer.allocation is not None
+        assert layer.idle is not None
+        assert layer.cycles == max(layer.compute_cycles, layer.memory_cycles)
+
+    def test_normalization(self):
+        wl = make_workload()
+        ref = Int16Accelerator().simulate([wl])
+        odq = ODQAccelerator().simulate([wl])
+        assert odq.normalized_time(ref) < 1.0
+        assert odq.normalized_energy(ref) < 1.0
+
+    def test_energy_breakdown_components_positive(self):
+        sim = ODQAccelerator().simulate([make_workload()])
+        e = sim.total_energy
+        assert e.cores_pj > 0 and e.buffer_pj > 0 and e.dram_pj > 0 and e.static_pj > 0
+
+
+class TestFromRecords:
+    def test_roundtrip_from_engine_records(self, trained_resnet, tiny_dataset):
+        from repro.core.pipeline import run_scheme
+        from repro.core.schemes import odq_scheme
+
+        model, _ = trained_resnet
+        _, records = run_scheme(
+            model, odq_scheme(0.3),
+            tiny_dataset.x_train[:16], tiny_dataset.x_test[:16], tiny_dataset.y_test[:16],
+        )
+        wls = workloads_from_records(records)
+        assert len(wls) == 19
+        sim = ODQAccelerator().simulate(wls)
+        assert sim.total_cycles > 0

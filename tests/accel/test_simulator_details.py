@@ -1,0 +1,119 @@
+"""Simulator internals: operand widths, reuse, MAC-class filtering."""
+
+import numpy as np
+import pytest
+
+from repro.accel.memory import MemoryConfig
+from repro.accel.simulator import (
+    DRQAccelerator,
+    Int8Accelerator,
+    Int16Accelerator,
+    LayerWorkload,
+    ODQAccelerator,
+)
+
+
+def wl(sensitive=0.25, input_sensitive=0.5, macs=None):
+    total_out = 8 * 8 * 8
+    total = total_out * 16 * 9
+    return LayerWorkload(
+        name="C", in_channels=16, out_channels=8, kernel=3,
+        out_h=8, out_w=8, images=1,
+        macs=macs or {
+            "int16": total, "int8": total,
+            "drq_hi": total // 2, "drq_lo": total - total // 2,
+            "pred_int2": total, "exec_int4": int(total * sensitive),
+        },
+        sensitive_fraction=sensitive,
+        input_sensitive_fraction=input_sensitive,
+    )
+
+
+class TestOperandBits:
+    def test_static_designs(self):
+        assert Int16Accelerator().operand_bits(wl()) == (16.0, 16.0)
+        assert Int8Accelerator().operand_bits(wl()) == (8.0, 8.0)
+
+    def test_drq_bits_track_input_sensitivity(self):
+        accel = DRQAccelerator(hi_bits=8, lo_bits=4)
+        all_lo = accel.operand_bits(wl(input_sensitive=0.0))
+        all_hi = accel.operand_bits(wl(input_sensitive=1.0))
+        mid = accel.operand_bits(wl(input_sensitive=0.5))
+        assert all_lo == (4.0, 4.0)
+        assert all_hi == (8.0, 8.0)
+        assert mid == (6.0, 6.0)
+
+    def test_odq_bits_track_output_sensitivity(self):
+        accel = ODQAccelerator()
+        assert accel.operand_bits(wl(sensitive=0.0)) == (2.0, 2.0)
+        assert accel.operand_bits(wl(sensitive=1.0)) == (6.0, 6.0)
+
+
+class TestMacClassFiltering:
+    def test_shared_workload_not_double_counted(self):
+        """A workload carrying every scheme's MAC counts must charge each
+        accelerator only for its own classes."""
+        w = wl()
+        e16 = Int16Accelerator().simulate_layer(w).energy.cores_pj
+        e8 = Int8Accelerator().simulate_layer(w).energy.cores_pj
+        eodq = ODQAccelerator().simulate_layer(w).energy.cores_pj
+        assert e16 > e8 > eodq
+
+    def test_unfiltered_base_class_uses_all(self):
+        from repro.accel.simulator import AcceleratorModel
+
+        class Dummy(AcceleratorModel):
+            spec = Int16Accelerator.spec
+
+            def compute_cycles(self, wl):
+                return 1.0
+
+            def operand_bits(self, wl):
+                return 8.0, 8.0
+
+        w = wl(macs={"int16": 10, "int8": 10})
+        assert Dummy()._own_macs(w) == {"int16": 10, "int8": 10}
+
+
+class TestReuse:
+    def test_odq_reuse_between_dense_and_sparse(self):
+        mem = MemoryConfig()
+        accel = ODQAccelerator(mem=mem)
+        r_none = accel.reuse(wl(sensitive=0.0))
+        r_half = accel.reuse(wl(sensitive=0.5))
+        assert r_half < r_none <= mem.dense_reuse
+        assert r_half >= mem.executor_reuse() * 0.3
+
+    def test_drq_reuse_between_dense_and_clustered(self):
+        mem = MemoryConfig()
+        r = DRQAccelerator(mem=mem).reuse(wl())
+        assert mem.executor_reuse() < r < mem.dense_reuse
+
+
+class TestRoofline:
+    def test_memory_bound_layer_uses_memory_cycles(self):
+        # Starved bandwidth makes everything memory bound.
+        slow = MemoryConfig(dram_bandwidth_bytes_per_cycle=1e-3)
+        res = Int16Accelerator(mem=slow).simulate_layer(wl())
+        assert res.cycles == res.memory_cycles > res.compute_cycles
+
+    def test_compute_bound_layer_uses_compute_cycles(self):
+        fast = MemoryConfig(dram_bandwidth_bytes_per_cycle=1e9)
+        res = Int16Accelerator(mem=fast).simulate_layer(wl())
+        assert res.cycles == res.compute_cycles
+
+
+class TestODQSchedulerModes:
+    def test_unknown_scheduler_rejected(self):
+        w = wl()
+        w.per_channel_sensitive = np.array([10, 10, 10, 10, 10, 10, 10, 10])
+        with pytest.raises(ValueError):
+            ODQAccelerator(scheduler="magic").compute_cycles(w)
+
+    def test_static_scheduler_never_faster_than_dynamic(self):
+        rng = np.random.default_rng(0)
+        w = wl(sensitive=0.4)
+        w.per_channel_sensitive = rng.geometric(0.01, size=8)
+        dyn = ODQAccelerator(scheduler="dynamic").compute_cycles(w)
+        sta = ODQAccelerator(scheduler="static").compute_cycles(w)
+        assert dyn <= sta + 1e-9

@@ -1,0 +1,153 @@
+"""Analysis drivers: the figure/table generators behind the benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.accel.alloc import PEAllocation
+from repro.analysis.accuracy import compare_accuracy, render_fig18
+from repro.analysis.idleness import (
+    dynamic_allocation_idleness,
+    render_idleness,
+    static_allocation_idleness,
+)
+from repro.analysis.motivation import (
+    collect_motivation_stats,
+    fig1_example,
+    render_bucket_table,
+    render_scalar_chart,
+)
+from repro.analysis.performance import (
+    compare_accelerators,
+    render_fig19,
+    render_fig21,
+    render_table1,
+    render_table2,
+)
+from repro.analysis.sensitivity import (
+    LayerSensitivity,
+    per_layer_insensitivity,
+    render_insensitivity_chart,
+    render_table3,
+)
+
+
+class TestMotivationDriver:
+    def test_stats_for_every_conv_layer(self, trained_resnet, tiny_dataset, calib_batch):
+        model, _ = trained_resnet
+        stats = collect_motivation_stats(
+            model, calib_batch[:16], tiny_dataset.x_test[:8], 0.2
+        )
+        assert len(stats) == 19
+        for s in stats:
+            assert 0.0 <= s.sensitive_fraction <= 1.0
+
+    def test_fig1_example(self, trained_resnet, tiny_dataset, calib_batch):
+        model, _ = trained_resnet
+        result = fig1_example(model, calib_batch[:16], tiny_dataset.x_test[:8], 0.2)
+        assert result.layers == 19
+        assert 0 <= result.case1_fraction <= 1
+        assert 0 <= result.case2_fraction <= 1
+
+    def test_renderers_produce_layers(self, trained_resnet, tiny_dataset, calib_batch):
+        model, _ = trained_resnet
+        stats = collect_motivation_stats(
+            model, calib_batch[:16], tiny_dataset.x_test[:8], 0.2
+        )
+        table = render_bucket_table(stats, "low", "t")
+        chart = render_scalar_chart(stats, "precision_loss_sensitive", "t")
+        assert "C1" in table and "C19" in table
+        assert chart.count("\n") >= 19
+
+
+class TestSensitivityDriver:
+    def test_per_layer_insensitivity(self, trained_resnet, tiny_dataset, calib_batch):
+        model, _ = trained_resnet
+        layers = per_layer_insensitivity(
+            model, calib_batch[:16], tiny_dataset.x_test[:8], threshold=0.3
+        )
+        assert len(layers) == 19
+        for l in layers:
+            assert l.insensitive_fraction + l.sensitive_fraction == pytest.approx(1.0)
+
+    def test_renderers(self):
+        layers = [LayerSensitivity("C1", 0.4, 0.6, 100), LayerSensitivity("C2", 0.8, 0.2, 100)]
+        chart = render_insensitivity_chart(layers, "t")
+        assert "40.0%" in chart and "80.0%" in chart
+        table3 = render_table3({"resnet20": 0.5})
+        assert "resnet20" in table3 and "0.5" in table3
+
+
+class TestIdlenessDriver:
+    def _layers(self):
+        return [
+            LayerSensitivity("C1", 0.9, 0.1, 100),
+            LayerSensitivity("C2", 0.5, 0.5, 100),
+            LayerSensitivity("C3", 0.35, 0.65, 100),
+        ]
+
+    def test_static_idleness_rows(self):
+        rows = static_allocation_idleness(self._layers(), PEAllocation(12, 15))
+        assert len(rows) == 3
+        assert all(r.allocation == "P12/E15" for r in rows)
+        assert all(0 <= r.overall_idle <= 1 for r in rows)
+
+    def test_dynamic_beats_static(self):
+        layers = self._layers()
+        static_rows = static_allocation_idleness(layers, PEAllocation(12, 15))
+        dynamic_rows = dynamic_allocation_idleness(layers)
+        assert sum(r.overall_idle for r in dynamic_rows) <= sum(
+            r.overall_idle for r in static_rows
+        )
+
+    def test_render(self):
+        rows = dynamic_allocation_idleness(self._layers())
+        out = render_idleness(rows, "Fig. 20")
+        assert "Fig. 20" in out and "Pre_idle" in out
+
+
+class TestPerformanceDriver:
+    def test_compare_accelerators_full_matrix(self, trained_resnet, tiny_dataset, calib_batch):
+        model, _ = trained_resnet
+        comparison = compare_accelerators(
+            model, "resnet20", calib_batch[:16],
+            tiny_dataset.x_test[:16], tiny_dataset.y_test[:16], odq_threshold=0.3,
+        )
+        assert set(comparison.runs) == {"INT16", "INT8", "DRQ", "ODQ"}
+        times = comparison.normalized_times()
+        assert times["INT16"] == pytest.approx(1.0)
+        assert times["ODQ"] < times["INT16"]
+        assert 0 < comparison.odq_speedup_vs("INT16") < 1
+        assert render_fig19([comparison]).count("resnet20") == 1
+        assert render_fig21([comparison]).count("resnet20") == 4
+
+    def test_table_renderers(self):
+        t1 = render_table1()
+        assert "66" in t1 and "9" in t1
+        t2 = render_table2()
+        assert "4860" in t2 and "INT2" in t2
+
+
+class TestAccuracyDriver:
+    def test_compare_accuracy_rows(self, trained_resnet, tiny_dataset, calib_batch):
+        model, _ = trained_resnet
+        c = compare_accuracy(
+            model, "resnet20", "cifar10",
+            calib_batch[:16], tiny_dataset.x_test[:32], tiny_dataset.y_test[:32],
+            odq_threshold=0.3,
+        )
+        names = [r.scheme for r in c.rows]
+        assert names == ["FP32", "INT16", "INT8", "DRQ 8-4", "DRQ 4-2", "ODQ 4-2"]
+        assert c.get("FP32").high_precision_share == 1.0
+        assert 0 <= c.get("ODQ 4-2").high_precision_share <= 1
+        out = render_fig18([c])
+        assert "ODQ 4-2" in out
+
+    def test_unknown_scheme_raises(self, trained_resnet, tiny_dataset, calib_batch):
+        model, _ = trained_resnet
+        c = compare_accuracy(
+            model, "resnet20", "cifar10",
+            calib_batch[:16], tiny_dataset.x_test[:16], tiny_dataset.y_test[:16],
+            odq_threshold=0.3,
+        )
+        with pytest.raises(KeyError):
+            c.get("INT2")

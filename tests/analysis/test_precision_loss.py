@@ -1,0 +1,29 @@
+"""Section 6.1 per-layer precision-loss listing."""
+
+import numpy as np
+
+from repro.analysis.precision_loss import (
+    LayerPrecisionLoss,
+    per_layer_precision_loss,
+    render_precision_loss,
+)
+
+
+class TestListing:
+    def test_rows_for_every_layer(self, trained_resnet, tiny_dataset, calib_batch):
+        model, _ = trained_resnet
+        rows = per_layer_precision_loss(
+            model, calib_batch[:16], tiny_dataset.x_test[:8], threshold=0.3
+        )
+        assert len(rows) == 19
+        assert all(r.odq_loss >= 0 and r.drq_loss >= 0 for r in rows)
+
+    def test_render(self):
+        rows = [LayerPrecisionLoss("C1", 0.05, 0.2), LayerPrecisionLoss("C2", 0.3, 0.1)]
+        out = render_precision_loss(rows, "Sec. 6.1")
+        assert "ODQ lower in 1/2 layers" in out
+        assert "0.050" in out
+
+    def test_odq_wins_property(self):
+        assert LayerPrecisionLoss("C1", 0.1, 0.1).odq_wins
+        assert not LayerPrecisionLoss("C1", 0.2, 0.1).odq_wins

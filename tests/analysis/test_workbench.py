@@ -1,0 +1,71 @@
+"""Workbench: caching, determinism, and scale handling."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.workbench import Workbench, scale_from_env
+from repro.config import ExperimentScale
+
+
+@pytest.fixture(scope="module")
+def bench():
+    # A deliberately tiny scale so workbench tests stay fast.
+    scale = ExperimentScale(
+        image_size=12, num_train=96, num_test=48, width_multiplier=0.25,
+        epochs=2, batch_size=32, noise=0.12, max_shift=1,
+    )
+    return Workbench(scale=scale, seed=123)
+
+
+class TestDatasets:
+    def test_cached(self, bench):
+        assert bench.dataset("cifar10") is bench.dataset("cifar10")
+
+    def test_shapes_follow_scale(self, bench):
+        ds = bench.dataset("cifar10")
+        assert ds.x_train.shape == (96, 3, 12, 12)
+        assert ds.num_classes == 10
+
+    def test_cifar100(self, bench):
+        assert bench.dataset("cifar100").num_classes == 100
+
+    def test_mnist_geometry(self, bench):
+        assert bench.dataset("mnist").image_shape == (1, 28, 28)
+
+    def test_unknown(self, bench):
+        with pytest.raises(KeyError):
+            bench.dataset("imagenet")
+
+
+class TestModels:
+    def test_trained_model_cached(self, bench):
+        a = bench.trained_model("resnet20")
+        b = bench.trained_model("resnet20")
+        assert a is b
+        assert a.model_name == "resnet20"
+        assert len(a.history.train_loss) == 2
+
+    def test_calibration_batch_bounded(self, bench):
+        calib = bench.calibration_batch("cifar10")
+        assert len(calib) <= 4 * bench.scale.batch_size
+
+
+class TestScaleFromEnv:
+    def test_default_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_from_env().image_size == 16
+
+    def test_paper_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "default")
+        assert scale_from_env().image_size == 32
+
+
+class TestThresholdAndODQModel:
+    def test_threshold_and_model_cached(self, bench):
+        t1 = bench.odq_threshold("resnet20", max_halvings=1)
+        t2 = bench.odq_threshold("resnet20")
+        assert t1 == t2 and t1 > 0
+        m1 = bench.odq_model("resnet20")
+        assert m1 is bench.odq_model("resnet20")
+        # The ODQ twin is a different object from the base model.
+        assert m1 is not bench.trained_model("resnet20").model

@@ -1,0 +1,59 @@
+"""Shared fixtures: deterministic RNGs, tiny datasets, and trained models.
+
+The trained-model fixtures are session-scoped because NumPy training is
+the slowest part of the suite; every test that needs a "real" network
+shares the same small ResNet trained once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_cifar10, synthetic_mnist
+from repro.models import resnet20
+from repro.nn import SGD, Trainer
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """Small, fast synthetic CIFAR-like dataset (16x16, 10 classes)."""
+    return synthetic_cifar10(
+        num_train=320, num_test=96, image_size=16, seed=7, noise=0.12, max_shift=1
+    )
+
+
+@pytest.fixture(scope="session")
+def mnist_dataset():
+    return synthetic_mnist(num_train=128, num_test=64, seed=11)
+
+
+@pytest.fixture(scope="session")
+def trained_resnet(tiny_dataset):
+    """A small ResNet-20 trained for a few epochs on the tiny dataset."""
+    model = resnet20(scale=0.25, rng=np.random.default_rng(5))
+    trainer = Trainer(
+        model,
+        SGD(model.parameters(), lr=0.05, momentum=0.9),
+        batch_size=32,
+        rng=np.random.default_rng(5),
+    )
+    history = trainer.fit(
+        tiny_dataset.x_train,
+        tiny_dataset.y_train,
+        tiny_dataset.x_test,
+        tiny_dataset.y_test,
+        epochs=6,
+    )
+    model.eval()
+    return model, history
+
+
+@pytest.fixture(scope="session")
+def calib_batch(tiny_dataset):
+    return tiny_dataset.x_train[:48]

@@ -1,0 +1,69 @@
+"""DRQ internals beyond the executor surface: regions, precisions, scheme wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core.drq import DRQConvExecutor, region_mean_magnitude
+from repro.core.schemes import drq_scheme
+from repro.nn import Conv2d
+
+
+class TestRegionGranularity:
+    def test_region_size_controls_mask_blockiness(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1, rng=rng)
+        x = rng.uniform(0, 1, (1, 3, 8, 8))
+        masks = {}
+        for region in (1, 4):
+            ex = DRQConvExecutor(conv, "C", region=region, target_sensitive=0.5)
+            ex.calibrate(x)
+            ex.freeze()
+            masks[region] = ex.input_mask(x)
+        # Coarser regions produce fewer distinct 1-pixel transitions.
+        def transitions(m):
+            return int(np.abs(np.diff(m[0, 0].astype(int), axis=0)).sum()
+                       + np.abs(np.diff(m[0, 0].astype(int), axis=1)).sum())
+
+        assert transitions(masks[4]) <= transitions(masks[1])
+
+    def test_region_one_is_per_pixel(self, rng):
+        x = rng.uniform(0, 1, (1, 2, 4, 4))
+        mags = region_mean_magnitude(x, 1)
+        np.testing.assert_allclose(mags[0, 0], np.abs(x[0]).mean(axis=0))
+
+
+class TestThresholdDirection:
+    def test_higher_threshold_fewer_sensitive_inputs(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1, rng=rng)
+        x = rng.uniform(0, 1, (2, 3, 8, 8))
+        fractions = []
+        for theta in (0.1, 0.4, 0.8):
+            ex = DRQConvExecutor(conv, "C", threshold=theta)
+            ex.calibrate(x)
+            ex.freeze()
+            fractions.append(ex.input_mask(x).mean())
+        assert fractions[0] >= fractions[1] >= fractions[2]
+
+    def test_target_sensitive_zero_and_one(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1, rng=rng)
+        x = rng.uniform(0.1, 1, (2, 3, 8, 8))
+        for target, lo, hi in [(0.0, 0.0, 0.15), (1.0, 0.85, 1.0)]:
+            ex = DRQConvExecutor(conv, "C", target_sensitive=target)
+            ex.calibrate(x)
+            ex.freeze()
+            frac = ex.input_mask(x).mean()
+            assert lo <= frac <= hi + 1e-9
+
+
+class TestSchemeWiring:
+    def test_drq42_uses_2bit_low(self, rng):
+        ex = drq_scheme(4, 2).make_executor(Conv2d(2, 2, 3, rng=rng), "c")
+        assert (ex.hi_bits, ex.lo_bits) == (4, 2)
+
+    def test_fixed_threshold_skips_quantile_collection(self, rng):
+        conv = Conv2d(2, 2, 3, rng=rng)
+        ex = DRQConvExecutor(conv, "C", threshold=0.5)
+        x = rng.uniform(0, 1, (1, 2, 4, 4))
+        ex.calibrate(x)
+        assert ex._region_samples == []
+        ex.freeze()
+        assert ex.threshold == 0.5

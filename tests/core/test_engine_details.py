@@ -1,0 +1,99 @@
+"""Inference-engine corner cases: batching, mixed schemes, record hygiene."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import QuantizedInferenceEngine
+from repro.core.schemes import odq_scheme, static_scheme
+from repro.models import resnet20
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def model(rng):
+    m = resnet20(scale=0.25, rng=rng)
+    m.eval()
+    return m
+
+
+class TestBatching:
+    def test_calibration_batch_splitting(self, model, rng):
+        """Calibrating in several small batches equals one big batch for
+        min/max observers."""
+        x = rng.uniform(0, 1, (32, 3, 16, 16))
+        e1 = QuantizedInferenceEngine(model, static_scheme(8))
+        e1.calibrate(x, batch_size=8)
+        qp_small = [ex.qp_a for ex in e1.executors.values()]
+        e1.restore()
+
+        e2 = QuantizedInferenceEngine(model, static_scheme(8))
+        e2.calibrate(x, batch_size=32)
+        qp_big = [ex.qp_a for ex in e2.executors.values()]
+        e2.restore()
+
+        for a, b in zip(qp_small, qp_big):
+            assert a.scale == pytest.approx(b.scale)
+            assert a.zero_point == b.zero_point
+
+    def test_evaluate_batching_invariant(self, model, rng):
+        x = rng.uniform(0, 1, (24, 3, 16, 16))
+        y = rng.integers(0, 10, 24)
+        engine = QuantizedInferenceEngine(model, static_scheme(8))
+        engine.calibrate(x[:8])
+        a = engine.evaluate(x, y, batch_size=6)
+        b = engine.evaluate(x, y, batch_size=24)
+        engine.restore()
+        assert a == b
+
+
+class TestRecordHygiene:
+    def test_mac_totals_accumulate_across_forwards(self, model, rng):
+        x = rng.uniform(0, 1, (4, 3, 16, 16))
+        engine = QuantizedInferenceEngine(model, odq_scheme(0.3))
+        engine.calibrate(x)
+        engine.forward(x)
+        once = dict(engine.total_macs())
+        engine.forward(x)
+        twice = engine.total_macs()
+        engine.restore()
+        for k in once:
+            assert twice[k] == 2 * once[k]
+
+    def test_calibration_does_not_touch_records(self, model, rng):
+        x = rng.uniform(0, 1, (4, 3, 16, 16))
+        engine = QuantizedInferenceEngine(model, odq_scheme(0.3))
+        engine.calibrate(x)
+        assert all(r.outputs_total == 0 for r in engine.records.values())
+        engine.restore()
+
+    def test_keep_masks_false_drops_masks(self, model, rng):
+        x = rng.uniform(0, 1, (2, 3, 16, 16))
+        engine = QuantizedInferenceEngine(model, odq_scheme(0.3, keep_masks=False))
+        engine.calibrate(x)
+        engine.forward(x)
+        assert all(r.last_mask is None for r in engine.records.values())
+        # Aggregates survive even without stored masks.
+        assert all(r.per_channel_sensitive is not None for r in engine.records.values())
+        engine.restore()
+
+
+class TestModelInteraction:
+    def test_model_trainable_after_restore(self, model, tiny_dataset):
+        from repro.nn import SGD, Trainer
+
+        engine = QuantizedInferenceEngine(model, static_scheme(8))
+        engine.calibrate(tiny_dataset.x_train[:8])
+        engine.restore()
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.01), batch_size=16)
+        history = trainer.fit(tiny_dataset.x_train[:32], tiny_dataset.y_train[:32], epochs=1)
+        assert np.isfinite(history.train_loss[0])
+
+    def test_two_engines_sequential_same_result(self, model, rng):
+        x = rng.uniform(0, 1, (8, 3, 16, 16))
+        outs = []
+        for _ in range(2):
+            engine = QuantizedInferenceEngine(model, odq_scheme(0.3))
+            engine.calibrate(x)
+            outs.append(engine.forward(x))
+            engine.restore()
+        np.testing.assert_array_equal(outs[0], outs[1])

@@ -1,0 +1,75 @@
+"""ODQ beyond the paper's 4/2 instance.
+
+Section 5.1: "ODQ is not limited to 4-bit and 2-bit quantization and can
+be easily extended to support other types of precision, e.g., INT8."
+These tests exercise the 8/4 instance and other operating points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.odq import ODQConvExecutor
+from repro.core.pipeline import run_scheme
+from repro.core.schemes import odq_scheme
+from repro.nn import Conv2d
+
+
+def calibrated(rng, x, **kwargs):
+    conv = Conv2d(3, 4, 3, padding=1, rng=rng)
+    ex = ODQConvExecutor(conv, "C1", **kwargs)
+    ex.calibrate(x)
+    ex.freeze()
+    return ex
+
+
+class TestODQ84:
+    def test_mixed_semantics_hold(self, rng):
+        x = rng.uniform(0, 1, (1, 3, 6, 6))
+        ex = calibrated(rng, x, threshold=0.2, total_bits=8, low_bits=4)
+        out = ex.run(x)
+        mask = ex.record.last_mask.mask
+        np.testing.assert_allclose(out[mask], ex.full_result(x)[mask])
+        np.testing.assert_allclose(out[~mask], ex.predict_partial(x)[~mask])
+
+    def test_more_bits_better_fidelity(self, rng):
+        """ODQ 8/4 tracks the FP reference better than ODQ 4/2 — both in
+        the full result and in the predictor partial."""
+        x = rng.uniform(0, 1, (2, 3, 8, 8))
+        errs = {}
+        for total, low in [(4, 2), (8, 4)]:
+            ex = calibrated(rng, x, threshold=0.2, total_bits=total, low_bits=low)
+            ref = ex.reference_forward(x)
+            errs[(total, low)] = np.abs(ex.full_result(x) - ref).mean()
+        assert errs[(8, 4)] < errs[(4, 2)]
+
+    def test_scheme_factory_plumbs_bits(self, rng):
+        scheme = odq_scheme(0.2, total_bits=8, low_bits=4)
+        ex = scheme.make_executor(Conv2d(2, 2, 3, rng=rng), "c")
+        assert ex.total_bits == 8 and ex.low_bits == 4
+
+    def test_end_to_end_odq84(self, trained_resnet, tiny_dataset, calib_batch):
+        """ODQ 8/4 post-training accuracy must approach INT8 static —
+        higher precision means even insensitive partials are decent."""
+        from repro.core.schemes import static_scheme
+
+        model, _ = trained_resnet
+        acc84, _ = run_scheme(
+            model, odq_scheme(0.1, total_bits=8, low_bits=4),
+            calib_batch, tiny_dataset.x_test, tiny_dataset.y_test,
+        )
+        acc8, _ = run_scheme(
+            model, static_scheme(8),
+            calib_batch, tiny_dataset.x_test, tiny_dataset.y_test,
+        )
+        assert acc84 >= acc8 - 0.25
+
+
+class TestUnevenSplits:
+    @pytest.mark.parametrize("total,low", [(4, 1), (4, 3), (6, 2)])
+    def test_other_splits_still_exact(self, rng, total, low):
+        """Eq.-3 semantics hold for any high/low partition."""
+        x = rng.uniform(0, 1, (1, 3, 5, 5))
+        ex = calibrated(rng, x, threshold=0.2, total_bits=total, low_bits=low)
+        out = ex.run(x)
+        mask = ex.record.last_mask.mask
+        np.testing.assert_allclose(out[mask], ex.full_result(x)[mask])

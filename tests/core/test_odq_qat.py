@@ -1,0 +1,159 @@
+"""ODQ-aware QAT: layer semantics, conversion, fine-tuning."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.odq import ODQConvExecutor, odq_weight_qparams
+from repro.core.odq_qat import (
+    ODQAwareConv2d,
+    convert_from_odq_qat,
+    convert_to_odq_qat,
+    finetune_odq,
+)
+from repro.models import resnet20
+from repro.nn import Conv2d, Tensor
+from repro.quant.uniform import affine_qparams
+
+
+class TestLayerSemantics:
+    def test_forward_matches_executor(self, rng):
+        """QAT layer and inference executor must compute the same output
+        (training/deployment consistency)."""
+        conv = Conv2d(3, 4, 3, padding=1, rng=rng)
+        x = rng.uniform(0, 1, (2, 3, 6, 6))
+
+        layer = ODQAwareConv2d.from_conv(conv, threshold=0.2)
+        layer.eval()
+        out_qat = layer(Tensor(x)).data
+
+        ex = ODQConvExecutor(conv, "C", threshold=0.2)
+        ex.calibrate(x)
+        ex.freeze()
+        out_exec = ex.run(x)
+        np.testing.assert_allclose(out_qat, out_exec, atol=1e-9)
+
+    def test_gradients_flow(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1, rng=rng)
+        layer = ODQAwareConv2d.from_conv(conv, threshold=0.2)
+        x = Tensor(rng.uniform(0, 1, (2, 3, 6, 6)), requires_grad=True)
+        out = layer(x)
+        out.backward(np.ones(out.shape))
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        assert x.grad is not None
+        assert np.isfinite(layer.weight.grad).all()
+
+    def test_ste_weight_gradient_matches_plain_conv(self, rng):
+        """STE rule: gradient equals that of an ordinary conv over the
+        dequantized operands."""
+        from repro.nn import functional as F
+        from repro.quant.uniform import dequantize, quantize
+
+        conv = Conv2d(2, 3, 3, padding=1, rng=rng)
+        layer = ODQAwareConv2d.from_conv(conv, threshold=0.2)
+        x_data = rng.uniform(0, 1, (1, 2, 5, 5))
+        g = rng.normal(size=(1, 3, 5, 5))
+
+        out = layer(Tensor(x_data))
+        out.backward(g)
+        got = layer.weight.grad.copy()
+
+        qp_a = affine_qparams(x_data.min(), x_data.max(), 4)
+        qp_w = odq_weight_qparams(conv.weight.data, 4, 97.0)
+        x_deq = dequantize(quantize(x_data, qp_a), qp_a)
+        w = Tensor(dequantize(quantize(conv.weight.data, qp_w), qp_w), requires_grad=True)
+        ref_out = F.conv2d(Tensor(x_deq), w, None, 1, 1)
+        ref_out.backward(g)
+        np.testing.assert_allclose(got, w.grad, atol=1e-9)
+
+    def test_sensitive_fraction_reported(self, rng):
+        conv = Conv2d(3, 4, 3, rng=rng)
+        layer = ODQAwareConv2d.from_conv(conv, threshold=0.0)
+        layer(Tensor(rng.uniform(0.2, 1, (1, 3, 5, 5))))
+        assert layer.last_sensitive_fraction > 0.5
+
+
+class TestConversion:
+    def test_roundtrip_preserves_weights(self, rng):
+        model = resnet20(scale=0.25, rng=rng)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        convert_to_odq_qat(model, 0.2)
+        assert len(model.modules_of_type(ODQAwareConv2d)) == 19
+        convert_from_odq_qat(model)
+        assert len(model.modules_of_type(ODQAwareConv2d)) == 0
+        after = model.state_dict()
+        for k in before:
+            np.testing.assert_array_equal(before[k], after[k])
+
+    def test_double_convert_idempotent(self, rng):
+        model = resnet20(scale=0.25, rng=rng)
+        convert_to_odq_qat(model, 0.2)
+        n = len(model.modules_of_type(ODQAwareConv2d))
+        convert_to_odq_qat(model, 0.2)
+        assert len(model.modules_of_type(ODQAwareConv2d)) == n
+        convert_from_odq_qat(model)
+
+    def test_to_conv_shares_parameters(self, rng):
+        conv = Conv2d(2, 2, 3, rng=rng)
+        layer = ODQAwareConv2d.from_conv(conv, threshold=0.1)
+        back = layer.to_conv()
+        assert back.weight is conv.weight
+        assert back.bias is conv.bias
+
+
+class TestFinetune:
+    def test_restores_plain_convs_and_improves_odq(self, trained_resnet, tiny_dataset):
+        """Fine-tuning is the paper's retraining step: ODQ accuracy on the
+        retrained model must beat naive post-training ODQ."""
+        from repro.core.pipeline import run_scheme
+        from repro.core.schemes import odq_scheme
+
+        model, _ = trained_resnet
+        calib = tiny_dataset.x_train[:32]
+        before, _ = run_scheme(
+            model, odq_scheme(0.3), calib, tiny_dataset.x_test, tiny_dataset.y_test
+        )
+        twin = copy.deepcopy(model)
+        finetune_odq(
+            twin, 0.3,
+            tiny_dataset.x_train, tiny_dataset.y_train,
+            tiny_dataset.x_test, tiny_dataset.y_test,
+            epochs=3, lr=0.01, rng=np.random.default_rng(0),
+        )
+        assert len(twin.modules_of_type(ODQAwareConv2d)) == 0
+        twin.eval()
+        after, _ = run_scheme(
+            twin, odq_scheme(0.3), calib, tiny_dataset.x_test, tiny_dataset.y_test
+        )
+        assert after > before
+
+    def test_keep_best_restores_best_epoch(self, trained_resnet, tiny_dataset):
+        model, _ = trained_resnet
+        twin = copy.deepcopy(model)
+        history = finetune_odq(
+            twin, 0.3,
+            tiny_dataset.x_train, tiny_dataset.y_train,
+            tiny_dataset.x_test, tiny_dataset.y_test,
+            epochs=2, lr=0.01, keep_best=True,
+            rng=np.random.default_rng(0),
+        )
+        assert len(history.test_acc) == 2
+
+
+class TestWeightQParams:
+    def test_percentile_tightens_scale(self, rng):
+        w = rng.normal(size=1000)
+        w[0] = 50.0  # outlier
+        full = odq_weight_qparams(w, 4, 100.0)
+        clipped = odq_weight_qparams(w, 4, 97.0)
+        assert clipped.scale < full.scale
+
+    def test_invalid_percentile(self, rng):
+        with pytest.raises(ValueError):
+            odq_weight_qparams(rng.normal(size=10), 4, 30.0)
+
+    def test_zero_weights_safe(self):
+        qp = odq_weight_qparams(np.zeros(10), 4, 97.0)
+        assert qp.scale > 0

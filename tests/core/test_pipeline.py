@@ -1,0 +1,122 @@
+"""Quantized inference engine: install/restore, calibration, evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import InstrumentedConv, QuantizedInferenceEngine, run_scheme
+from repro.core.schemes import drq_scheme, fp32_scheme, odq_scheme, static_scheme
+from repro.models import resnet20
+from repro.nn import Conv2d, Linear, Sequential, Tensor
+
+
+@pytest.fixture
+def model(rng):
+    return resnet20(scale=0.25, rng=rng)
+
+
+class TestInstallRestore:
+    def test_all_convs_instrumented(self, model):
+        engine = QuantizedInferenceEngine(model, fp32_scheme())
+        n_instr = len([m for _, m in model.named_modules() if isinstance(m, InstrumentedConv)])
+        assert n_instr == 19
+        assert len(engine.executors) == 19
+        engine.restore()
+
+    def test_restore_reinstates_originals(self, model, rng):
+        x = rng.normal(size=(1, 3, 16, 16))
+        model.eval()
+        before = model(Tensor(x)).data
+        engine = QuantizedInferenceEngine(model, fp32_scheme())
+        engine.restore()
+        assert not any(isinstance(m, InstrumentedConv) for _, m in model.named_modules())
+        np.testing.assert_array_equal(model(Tensor(x)).data, before)
+
+    def test_skip_first_conv(self, model):
+        engine = QuantizedInferenceEngine(model, fp32_scheme(), skip_first_conv=True)
+        assert len(engine.executors) == 18
+        engine.restore()
+
+    def test_layer_names_ordered(self, model):
+        engine = QuantizedInferenceEngine(model, fp32_scheme())
+        names = list(engine.executors)
+        assert names[0].startswith("C1:")
+        assert names[-1].startswith("C19:")
+        engine.restore()
+
+    def test_no_convs_rejected(self):
+        model = Sequential(Linear(4, 2))
+        with pytest.raises(ValueError):
+            QuantizedInferenceEngine(model, fp32_scheme())
+
+
+class TestCalibrationAndRun:
+    def test_forward_before_calibrate_raises(self, model, rng):
+        engine = QuantizedInferenceEngine(model, static_scheme(8))
+        with pytest.raises(RuntimeError):
+            engine.forward(rng.normal(size=(1, 3, 16, 16)))
+        engine.restore()
+
+    def test_fp32_engine_matches_plain_model(self, model, rng):
+        x = rng.normal(size=(2, 3, 16, 16))
+        model.eval()
+        ref = model(Tensor(x)).data
+        engine = QuantizedInferenceEngine(model, fp32_scheme())
+        engine.calibrate(x)
+        out = engine.forward(x)
+        engine.restore()
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_evaluate_returns_fraction(self, model, tiny_dataset):
+        engine = QuantizedInferenceEngine(model, static_scheme(16))
+        engine.calibrate(tiny_dataset.x_train[:16])
+        acc = engine.evaluate(tiny_dataset.x_test[:32], tiny_dataset.y_test[:32])
+        engine.restore()
+        assert 0.0 <= acc <= 1.0
+
+    def test_records_populated_for_odq(self, model, rng):
+        x = rng.uniform(0, 1, (2, 3, 16, 16))
+        engine = QuantizedInferenceEngine(model, odq_scheme(0.3))
+        engine.calibrate(x)
+        engine.forward(x)
+        recs = engine.records
+        assert len(recs) == 19
+        assert all(r.outputs_total > 0 for r in recs.values())
+        assert engine.total_macs()["pred_int2"] > 0
+        assert 0.0 <= engine.mean_sensitive_fraction() <= 1.0
+        engine.restore()
+
+    def test_reset_records(self, model, rng):
+        x = rng.uniform(0, 1, (1, 3, 16, 16))
+        engine = QuantizedInferenceEngine(model, odq_scheme(0.3))
+        engine.calibrate(x)
+        engine.forward(x)
+        engine.reset_records()
+        assert all(r.outputs_total == 0 for r in engine.records.values())
+        engine.restore()
+
+    def test_capture_inputs(self, model, rng):
+        x = rng.uniform(0, 1, (1, 3, 16, 16))
+        engine = QuantizedInferenceEngine(model, drq_scheme())
+        engine.capture_inputs = True
+        engine.calibrate(x)
+        engine.forward(x)
+        for rec in engine.records.values():
+            assert rec.extra["last_input"].ndim == 4
+        engine.restore()
+
+
+class TestRunScheme:
+    def test_restores_even_on_success(self, model, tiny_dataset):
+        acc, records = run_scheme(
+            model, static_scheme(8),
+            tiny_dataset.x_train[:16], tiny_dataset.x_test[:16], tiny_dataset.y_test[:16],
+        )
+        assert not any(isinstance(m, InstrumentedConv) for _, m in model.named_modules())
+        assert len(records) == 19
+        assert 0.0 <= acc <= 1.0
+
+    def test_restores_on_failure(self, model):
+        bad_x = np.zeros((0, 3, 16, 16))  # empty calibration -> observer error
+        with pytest.raises(Exception):
+            run_scheme(model, static_scheme(8), bad_x, bad_x, np.zeros(0))
+        assert not any(isinstance(m, InstrumentedConv) for _, m in model.named_modules())

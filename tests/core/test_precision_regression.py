@@ -1,0 +1,64 @@
+"""Numerical regression anchors.
+
+Pin down exact values of the deterministic primitives so accidental
+semantic drift (a changed rounding rule, a shifted plane, a different
+zero-point convention) fails loudly instead of silently skewing every
+figure downstream.
+"""
+
+import numpy as np
+
+from repro.core.base import int_conv2d
+from repro.core.odq import odq_mixed_conv, odq_weight_qparams
+from repro.quant.bitsplit import split_planes
+from repro.quant.uniform import affine_qparams, quantize, symmetric_qparams
+
+
+class TestAnchors:
+    def test_affine_qparams_unit_range(self):
+        qp = affine_qparams(0.0, 1.0, 4)
+        assert qp.zero_point == 0
+        assert qp.scale == 1.0 / 15
+
+    def test_symmetric_qparams_unit_range(self):
+        qp = symmetric_qparams(1.0, 4)
+        assert qp.scale == 1.0 / 7
+
+    def test_quantize_midpoints_round_half_even(self):
+        qp = affine_qparams(0.0, 1.0, 4)
+        # numpy rounds half to even: 0.5/scale = 7.5 -> 8.
+        assert quantize(np.array([0.5]), qp)[0] == 8
+
+    def test_sign_magnitude_full_int4_table(self):
+        q = np.arange(-8, 8, dtype=np.int64)
+        qp = symmetric_qparams(1.0, 4)
+        planes = split_planes(q, qp, 2)
+        np.testing.assert_array_equal(
+            planes.high, [-2, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1]
+        )
+        np.testing.assert_array_equal(
+            planes.low, [0, -3, -2, -1, 0, -3, -2, -1, 0, 1, 2, 3, 0, 1, 2, 3]
+        )
+
+    def test_int_conv_fixed_example(self):
+        q = np.arange(16, dtype=np.int64).reshape(1, 1, 4, 4)
+        qw = np.ones((1, 1, 3, 3), dtype=np.int64)
+        out = int_conv2d(q, qw, 1, 0)
+        # 3x3 sums of a raster 4x4: top-left window sums 0+1+2+4+5+6+8+9+10.
+        assert out[0, 0, 0, 0] == 45
+        assert out[0, 0, 1, 1] == 90
+
+    def test_odq_mixed_conv_fixed_example(self):
+        """A fully hand-checkable single-pixel layer."""
+        x = np.array([[[[1.0]]]])          # one input pixel, value 1.0
+        w = np.array([[[[0.5]]]])          # one 1x1 weight
+        qp_a = affine_qparams(0.0, 1.0, 4)  # scale 1/15, zp 0
+        qp_w = odq_weight_qparams(w, 4, 100.0)  # scale 0.5/7
+        r = odq_mixed_conv(x, w, None, 1, 0, threshold=0.0,
+                           qp_a=qp_a, qp_w=qp_w, compensate_low_bits=False)
+        # q = 15 (q_h=3), qw = 7 (w_h=1): full = 15*7*s, partial = (3*1<<4)*s.
+        s = qp_a.scale * qp_w.scale
+        assert r["full"][0, 0, 0, 0] == 105 * s
+        assert r["partial"][0, 0, 0, 0] == 48 * s
+        assert bool(r["mask"].mask[0, 0, 0, 0]) is True  # |48s| > 0
+        assert r["out"][0, 0, 0, 0] == 105 * s

@@ -1,0 +1,56 @@
+"""Scheme registry."""
+
+import pytest
+
+from repro.core.drq import DRQConvExecutor
+from repro.core.odq import ODQConvExecutor
+from repro.core.schemes import (
+    drq_scheme,
+    fp32_scheme,
+    odq_scheme,
+    paper_schemes,
+    static_scheme,
+)
+from repro.core.static_quant import FP32ConvExecutor, StaticQuantConvExecutor
+from repro.nn import Conv2d
+
+
+class TestFactories:
+    def test_names(self):
+        assert fp32_scheme().name == "fp32"
+        assert static_scheme(8).name == "int8"
+        assert drq_scheme(8, 4).name == "drq84"
+        assert odq_scheme(0.5).name == "odq"
+
+    def test_kinds(self):
+        assert static_scheme(16).kind == "static"
+        assert drq_scheme().kind == "drq"
+        assert odq_scheme(0.1).kind == "odq"
+
+    def test_executor_types(self, rng):
+        conv = Conv2d(2, 2, 3, rng=rng)
+        assert isinstance(fp32_scheme().make_executor(conv, "c"), FP32ConvExecutor)
+        assert isinstance(static_scheme(8).make_executor(conv, "c"), StaticQuantConvExecutor)
+        assert isinstance(drq_scheme().make_executor(conv, "c"), DRQConvExecutor)
+        assert isinstance(odq_scheme(0.1).make_executor(conv, "c"), ODQConvExecutor)
+
+    def test_params_propagate(self, rng):
+        conv = Conv2d(2, 2, 3, rng=rng)
+        ex = drq_scheme(4, 2, region=3, target_sensitive=0.3).make_executor(conv, "c")
+        assert ex.hi_bits == 4 and ex.lo_bits == 2
+        assert ex.region == 3 and ex.target_sensitive == 0.3
+        ex2 = odq_scheme(0.25, total_bits=4, low_bits=2).make_executor(conv, "c")
+        assert ex2.threshold == 0.25
+
+    def test_each_factory_call_builds_fresh_executor(self, rng):
+        conv = Conv2d(2, 2, 3, rng=rng)
+        s = odq_scheme(0.1)
+        assert s.make_executor(conv, "a") is not s.make_executor(conv, "b")
+
+
+class TestPaperSchemes:
+    def test_contains_fig18_set(self):
+        schemes = paper_schemes(0.5)
+        assert set(schemes) == {"INT16", "INT8", "DRQ 8-4", "DRQ 4-2", "ODQ 4-2"}
+        assert schemes["ODQ 4-2"].params["threshold"] == 0.5
+        assert schemes["DRQ 4-2"].params["hi_bits"] == 4

@@ -1,0 +1,78 @@
+"""Static INT-k executors and the FP32 reference."""
+
+import numpy as np
+import pytest
+
+from repro.core.static_quant import FP32ConvExecutor, StaticQuantConvExecutor
+from repro.nn import Conv2d
+
+
+def calibrated(rng, x, bits, **kwargs):
+    conv = Conv2d(3, 4, 3, padding=1, rng=rng)
+    ex = StaticQuantConvExecutor(conv, "C1", bits=bits, **kwargs)
+    ex.calibrate(x)
+    ex.freeze()
+    return ex
+
+
+class TestFP32:
+    def test_matches_reference(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1, rng=rng)
+        ex = FP32ConvExecutor(conv, "C1")
+        x = rng.normal(size=(2, 3, 6, 6))
+        np.testing.assert_array_equal(ex.run(x), ex.reference_forward(x))
+        assert ex.record.macs["fp32"] > 0
+
+
+class TestStaticQuant:
+    def test_error_decreases_with_bits(self, rng):
+        x = rng.uniform(0, 1, (2, 3, 8, 8))
+        errs = []
+        for bits in (2, 4, 8, 16):
+            ex = calibrated(rng, x, bits)
+            errs.append(np.abs(ex.run(x) - ex.reference_forward(x)).mean())
+        assert errs[0] > errs[1] > errs[2] > errs[3]
+
+    def test_int16_nearly_exact(self, rng):
+        x = rng.uniform(0, 1, (1, 3, 6, 6))
+        ex = calibrated(rng, x, 16)
+        err = np.abs(ex.run(x) - ex.reference_forward(x)).max()
+        assert err < 1e-3
+
+    def test_zero_point_correction_correct(self, rng):
+        """Integer-domain computation must match float fake-quant conv."""
+        from repro.core.base import float_conv2d
+        from repro.quant.uniform import fake_quantize, quantize
+
+        x = rng.uniform(0, 1, (1, 3, 6, 6))
+        ex = calibrated(rng, x, 8)
+        out = ex.run(x)
+        x_fq = fake_quantize(x, ex.qp_a)
+        w_fq = ex._qw * ex.qp_w.scale
+        ref = float_conv2d(x_fq, w_fq, ex.conv.bias.data, 1, 1)
+        np.testing.assert_allclose(out, ref, atol=1e-9)
+
+    def test_run_before_freeze_raises(self, rng):
+        conv = Conv2d(3, 4, 3, rng=rng)
+        ex = StaticQuantConvExecutor(conv, "C1", bits=8)
+        with pytest.raises(RuntimeError):
+            ex.run(rng.uniform(0, 1, (1, 3, 5, 5)))
+
+    def test_mac_key_naming(self, rng):
+        x = rng.uniform(0, 1, (1, 3, 6, 6))
+        ex = calibrated(rng, x, 16)
+        ex.run(x)
+        assert "int16" in ex.record.macs
+
+    def test_bits_lower_bound(self, rng):
+        conv = Conv2d(3, 4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            StaticQuantConvExecutor(conv, "C1", bits=1)
+
+    def test_negative_input_range_handled(self, rng):
+        """First-layer inputs (not post-ReLU) may be negative."""
+        x = rng.normal(size=(1, 3, 6, 6))
+        ex = calibrated(rng, x, 8)
+        out = ex.run(x)
+        err = np.abs(out - ex.reference_forward(x)).mean()
+        assert err < 0.1

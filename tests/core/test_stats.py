@@ -1,0 +1,109 @@
+"""Motivation metrics (Figs 2-5): buckets, precision loss, extra precision."""
+
+import numpy as np
+import pytest
+
+from repro.core.drq import DRQConvExecutor
+from repro.core.stats import (
+    BUCKET_LABELS,
+    _bucket_shares,
+    input_fraction_per_output,
+    motivation_stats_for_layer,
+    odq_precision_loss_for_layer,
+)
+from repro.nn import Conv2d
+
+
+class TestBuckets:
+    def test_shares_sum_to_one(self):
+        shares = _bucket_shares(np.array([0.1, 0.3, 0.6, 0.9]))
+        assert shares.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(shares, [0.25, 0.25, 0.25, 0.25])
+
+    def test_empty_input(self):
+        assert _bucket_shares(np.array([])).sum() == 0.0
+
+    def test_boundary_values(self):
+        # 1.0 must land in the last bucket (edges are right-open except last).
+        shares = _bucket_shares(np.array([0.0, 0.25, 1.0]))
+        assert shares[-1] > 0
+
+    def test_label_count_matches(self):
+        assert len(_bucket_shares(np.array([0.5]))) == len(BUCKET_LABELS)
+
+
+class TestInputFraction:
+    def test_all_masked_gives_one(self):
+        mask = np.ones((1, 1, 6, 6), dtype=bool)
+        frac = input_fraction_per_output(mask, kernel=3, stride=1, padding=0)
+        np.testing.assert_allclose(frac, 1.0)
+
+    def test_none_masked_gives_zero(self):
+        mask = np.zeros((1, 1, 6, 6), dtype=bool)
+        frac = input_fraction_per_output(mask, kernel=3, stride=1, padding=0)
+        np.testing.assert_allclose(frac, 0.0)
+
+    def test_half_masked_window(self):
+        mask = np.zeros((1, 1, 2, 2), dtype=bool)
+        mask[0, 0, 0, :] = True  # top row of a single 2x2 window
+        frac = input_fraction_per_output(mask, kernel=2, stride=1, padding=0)
+        assert frac[0, 0, 0, 0] == pytest.approx(0.5)
+
+    def test_padding_counts_as_unmasked(self):
+        mask = np.ones((1, 1, 2, 2), dtype=bool)
+        frac = input_fraction_per_output(mask, kernel=3, stride=1, padding=1)
+        # Corner window: 4 of 9 pixels are real (masked), 5 are padding.
+        assert frac[0, 0, 0, 0] == pytest.approx(4 / 9)
+
+
+class TestMotivationStats:
+    @pytest.fixture
+    def executor(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1, rng=rng)
+        ex = DRQConvExecutor(conv, "C1", hi_bits=8, lo_bits=4, target_sensitive=0.5)
+        x = rng.uniform(0, 1, (2, 3, 8, 8))
+        ex.calibrate(x)
+        ex.freeze()
+        return ex, x
+
+    def test_stats_fields_valid(self, executor):
+        ex, x = executor
+        stats = motivation_stats_for_layer(ex, x, output_threshold=0.2)
+        assert stats.lowprec_input_buckets.sum() == pytest.approx(1.0) or \
+            stats.lowprec_input_buckets.sum() == 0.0
+        assert stats.precision_loss_sensitive >= 0
+        assert stats.extra_precision_insensitive >= 0
+        assert 0 <= stats.sensitive_fraction <= 1
+
+    def test_unfrozen_rejected(self, rng):
+        conv = Conv2d(3, 4, 3, rng=rng)
+        ex = DRQConvExecutor(conv, "C1")
+        with pytest.raises(RuntimeError):
+            motivation_stats_for_layer(ex, np.zeros((1, 3, 5, 5)), 0.1)
+
+    def test_lowprec_noise_positive_when_insensitive_inputs_feed_sensitive_outputs(
+        self, executor
+    ):
+        """The Fig.-3 phenomenon: DRQ's mixed precision perturbs sensitive
+        outputs whenever any of their inputs were low-precision."""
+        ex, x = executor
+        stats = motivation_stats_for_layer(ex, x, output_threshold=0.1)
+        if stats.sensitive_fraction > 0:
+            assert stats.precision_loss_sensitive > 0
+
+
+class TestODQPrecisionLoss:
+    def test_zero_when_identical(self):
+        o = np.random.default_rng(0).normal(size=(1, 2, 3, 3))
+        assert odq_precision_loss_for_layer(o, o.copy(), 0.1) == 0.0
+
+    def test_only_sensitive_outputs_counted(self):
+        o_fp = np.array([[[[5.0, 0.01]]]]).reshape(1, 1, 1, 2)
+        o_odq = o_fp + np.array([0.1, 99.0]).reshape(1, 1, 1, 2)
+        # Threshold 1.0: only the 5.0 output is sensitive.
+        loss = odq_precision_loss_for_layer(o_fp, o_odq, 1.0)
+        assert loss == pytest.approx(0.1)
+
+    def test_no_sensitive_outputs(self):
+        o = np.zeros((1, 1, 2, 2))
+        assert odq_precision_loss_for_layer(o, o + 1, 0.5) == 0.0

@@ -1,0 +1,91 @@
+"""Adaptive threshold search and the Fig.-22 sweep."""
+
+import numpy as np
+import pytest
+
+from repro.core.threshold import (
+    adaptive_threshold_search,
+    initial_threshold,
+    threshold_sweep,
+)
+
+
+class TestInitialThreshold:
+    def test_positive_and_in_distribution(self, trained_resnet, calib_batch):
+        model, _ = trained_resnet
+        theta = initial_threshold(model, calib_batch[:16], percentile=75.0)
+        assert theta > 0
+        # A 75th-percentile threshold must leave some outputs on each side.
+        theta_hi = initial_threshold(model, calib_batch[:16], percentile=99.0)
+        assert theta_hi > theta
+
+
+class TestAdaptiveSearch:
+    def test_halving_trace(self, trained_resnet, tiny_dataset, calib_batch):
+        model, _ = trained_resnet
+        result = adaptive_threshold_search(
+            model,
+            calib_batch[:16],
+            tiny_dataset.x_test[:48],
+            tiny_dataset.y_test[:48],
+            max_accuracy_drop=0.05,
+            start_threshold=1.0,
+            max_halvings=6,
+        )
+        # Thresholds in the trace halve each step.
+        thetas = [t for t, _ in result.trace]
+        for a, b in zip(thetas, thetas[1:]):
+            assert b == pytest.approx(a / 2)
+        assert result.threshold in thetas
+        assert 0 <= result.accuracy <= 1
+
+    def test_converged_flag_with_loose_tolerance(self, trained_resnet, tiny_dataset, calib_batch):
+        model, _ = trained_resnet
+        result = adaptive_threshold_search(
+            model,
+            calib_batch[:16],
+            tiny_dataset.x_test[:32],
+            tiny_dataset.y_test[:32],
+            max_accuracy_drop=1.0,  # any accuracy accepted
+            start_threshold=0.5,
+            max_halvings=2,
+        )
+        assert result.converged
+        assert len(result.trace) == 1
+        assert result.accuracy_drop <= 1.0
+
+    def test_fallback_to_best_when_not_converged(self, trained_resnet, tiny_dataset, calib_batch):
+        model, _ = trained_resnet
+        result = adaptive_threshold_search(
+            model,
+            calib_batch[:16],
+            tiny_dataset.x_test[:32],
+            tiny_dataset.y_test[:32],
+            max_accuracy_drop=-1.0,  # impossible: forces exhaustion
+            start_threshold=2.0,
+            max_halvings=3,
+        )
+        assert not result.converged
+        best_acc = max(acc for _, acc in result.trace)
+        assert result.accuracy == best_acc
+
+
+class TestSweep:
+    def test_insensitivity_monotone_in_threshold(self, trained_resnet, tiny_dataset, calib_batch):
+        """Fig. 22's right axis: higher threshold => more INT2 outputs."""
+        model, _ = trained_resnet
+        points = threshold_sweep(
+            model,
+            calib_batch[:16],
+            tiny_dataset.x_test[:32],
+            tiny_dataset.y_test[:32],
+            thresholds=[0.05, 0.4, 2.0],
+        )
+        fracs = [p.insensitive_fraction for p in points]
+        # End-to-end monotonicity is only approximate (deeper layers see
+        # threshold-dependent inputs), but the extremes must order and the
+        # highest threshold must make most outputs INT2.
+        assert fracs[2] >= fracs[0]
+        assert fracs[2] > 0.5
+        for p in points:
+            assert p.sensitive_fraction + p.insensitive_fraction == pytest.approx(1.0)

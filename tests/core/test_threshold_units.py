@@ -1,0 +1,72 @@
+"""Threshold-machinery unit tests that need no trained model."""
+
+import numpy as np
+import pytest
+
+from repro.core.threshold import ThresholdSearchResult, ThresholdSweepPoint
+
+
+class TestSearchResult:
+    def test_accuracy_drop(self):
+        r = ThresholdSearchResult(
+            threshold=0.5, accuracy=0.8, baseline_accuracy=0.9, trace=[(0.5, 0.8)]
+        )
+        assert r.accuracy_drop == pytest.approx(0.1)
+        assert r.converged
+
+    def test_trace_defaults_empty(self):
+        r = ThresholdSearchResult(0.1, 0.5, 0.6)
+        assert r.trace == []
+
+
+class TestSweepPoint:
+    def test_fields(self):
+        p = ThresholdSweepPoint(0.3, 0.85, 0.6, 0.4)
+        assert p.insensitive_fraction + p.sensitive_fraction == pytest.approx(1.0)
+
+
+class TestScaledThresholdExecutor:
+    """threshold_mode='scaled' mechanics on a single layer."""
+
+    def _executor(self, rng, mode, threshold):
+        from repro.core.odq import ODQConvExecutor
+        from repro.nn import Conv2d
+
+        conv = Conv2d(3, 4, 3, padding=1, rng=rng)
+        ex = ODQConvExecutor(conv, "C", threshold=threshold, threshold_mode=mode)
+        x = rng.uniform(0, 1, (2, 3, 6, 6))
+        ex.calibrate(x)
+        ex.freeze()
+        return ex, x
+
+    def test_scaled_uses_calibrated_std(self, rng):
+        ex, x = self._executor(rng, "scaled", threshold=0.5)
+        assert ex.output_std is not None and ex.output_std > 0
+        assert ex.effective_threshold == pytest.approx(0.5 * ex.output_std)
+
+    def test_absolute_ignores_std(self, rng):
+        ex, _ = self._executor(rng, "absolute", threshold=0.5)
+        assert ex.effective_threshold == 0.5
+        assert ex.output_std is None
+
+    def test_unknown_mode_rejected(self, rng):
+        from repro.core.odq import ODQConvExecutor
+        from repro.nn import Conv2d
+
+        with pytest.raises(ValueError):
+            ODQConvExecutor(Conv2d(2, 2, 3, rng=rng), "C", threshold=0.1,
+                            threshold_mode="relative")
+
+    def test_scaled_and_absolute_agree_when_std_is_one(self, rng):
+        """With unit output std the two modes produce identical masks."""
+        ex_s, x = self._executor(rng, "scaled", threshold=0.3)
+        ex_s.output_std = 1.0
+        from repro.core.odq import ODQConvExecutor
+        from repro.nn import Conv2d
+
+        ex_a = ODQConvExecutor(ex_s.conv, "C", threshold=0.3, threshold_mode="absolute")
+        ex_a.calibrate(x)
+        ex_a.freeze()
+        np.testing.assert_array_equal(
+            ex_s.sensitivity_mask(x).mask, ex_a.sensitivity_mask(x).mask
+        )

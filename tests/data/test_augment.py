@@ -1,0 +1,49 @@
+"""Augmentation and prototype internals of the synthetic data generator."""
+
+import numpy as np
+
+from repro.data.synthetic import _augment, _class_prototypes
+
+
+class TestPrototypes:
+    def test_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        protos = _class_prototypes(5, 3, 16, rng)
+        assert protos.shape == (5, 3, 16, 16)
+        assert protos.min() >= -0.5 and protos.max() <= 1.5
+
+    def test_classes_distinct(self):
+        rng = np.random.default_rng(0)
+        protos = _class_prototypes(4, 1, 16, rng)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert np.abs(protos[i] - protos[j]).mean() > 0.01
+
+
+class TestAugment:
+    def test_no_shift_preserves_content_up_to_flip_contrast(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((8, 1, 6, 6))
+        out = _augment(x.copy(), np.random.default_rng(1), max_shift=0)
+        # Every output is a flipped/contrast-scaled version of an input.
+        for i in range(8):
+            candidates = [x[i], x[i, :, :, ::-1]]
+            ratios = []
+            for c in candidates:
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    r = out[i] / c
+                r = r[np.isfinite(r)]
+                ratios.append(np.ptp(r) < 1e-9 if r.size else False)
+            assert any(ratios)
+
+    def test_shift_stays_in_bounds(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((16, 1, 8, 8))
+        out = _augment(x.copy(), np.random.default_rng(2), max_shift=2)
+        assert out.shape == x.shape
+        assert np.isfinite(out).all()
+
+    def test_contrast_bounded(self):
+        x = np.ones((32, 1, 4, 4))
+        out = _augment(x.copy(), np.random.default_rng(3), max_shift=0)
+        assert out.min() >= 0.85 - 1e-9 and out.max() <= 1.15 + 1e-9

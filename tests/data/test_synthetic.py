@@ -1,0 +1,71 @@
+"""Synthetic datasets: determinism, learnability signal, and shapes."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Dataset,
+    make_synthetic_dataset,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    synthetic_mnist,
+)
+
+
+class TestShapes:
+    def test_cifar10_defaults(self):
+        ds = synthetic_cifar10(num_train=32, num_test=16)
+        assert ds.x_train.shape == (32, 3, 32, 32)
+        assert ds.num_classes == 10
+        assert ds.y_train.max() < 10
+
+    def test_cifar100_classes(self):
+        ds = synthetic_cifar100(num_train=256, num_test=16)
+        assert ds.num_classes == 100
+        assert len(np.unique(ds.y_train)) > 50
+
+    def test_mnist_geometry(self):
+        ds = synthetic_mnist(num_train=16, num_test=8)
+        assert ds.x_train.shape[1:] == (1, 28, 28)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((4, 1, 2, 2)), np.zeros(3), np.zeros((2, 1, 2, 2)), np.zeros(2), 2)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = synthetic_cifar10(num_train=16, num_test=8, seed=42)
+        b = synthetic_cifar10(num_train=16, num_test=8, seed=42)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_test, b.y_test)
+
+    def test_different_seed_different_data(self):
+        a = synthetic_cifar10(num_train=16, num_test=8, seed=1)
+        b = synthetic_cifar10(num_train=16, num_test=8, seed=2)
+        assert not np.allclose(a.x_train, b.x_train)
+
+
+class TestLearnability:
+    def test_class_structure_exists(self):
+        """Images of the same class must be closer than across classes —
+        the signal a classifier learns."""
+        ds = make_synthetic_dataset(num_classes=4, image_size=16, num_train=200,
+                                    num_test=10, noise=0.15, seed=3)
+        means = np.stack([
+            ds.x_train[ds.y_train == c].mean(axis=0) for c in range(4)
+        ])
+        across = np.sqrt(((means[0] - means[1]) ** 2).sum())
+        assert across > 0.1  # prototypes are distinct
+
+    def test_nearest_prototype_beats_chance(self):
+        ds = make_synthetic_dataset(num_classes=10, image_size=16, num_train=400,
+                                    num_test=100, noise=0.2, seed=3)
+        protos = np.stack([ds.x_train[ds.y_train == c].mean(axis=0) for c in range(10)])
+        d = ((ds.x_test[:, None] - protos[None]) ** 2).sum(axis=(2, 3, 4))
+        acc = (d.argmin(axis=1) == ds.y_test).mean()
+        assert acc > 0.3  # far above the 10% chance level
+
+    def test_values_bounded(self):
+        ds = synthetic_cifar10(num_train=16, num_test=8)
+        assert ds.x_train.min() >= 0.0 and ds.x_train.max() <= 1.2

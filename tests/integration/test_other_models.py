@@ -1,0 +1,77 @@
+"""The quantized inference engine across all paper topologies.
+
+ResNet gets the deep treatment in test_end_to_end; here the remaining
+architectures (VGG's plain stacks, DenseNet's concatenative blocks,
+LeNet's pooled pipeline) are pushed through calibration, every scheme,
+and the accelerator simulator to guard against topology-specific bugs
+(e.g. 1x1 convs in transitions, convs after concat).
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel.simulator import build_accelerator, workloads_from_records
+from repro.core.pipeline import run_scheme
+from repro.core.schemes import drq_scheme, odq_scheme, static_scheme
+from repro.models import LeNet5, densenet, vgg16
+from repro.nn import SGD, Trainer
+
+
+def quick_train(model, ds, epochs=2, lr=0.05):
+    trainer = Trainer(
+        model,
+        SGD(model.parameters(), lr=lr, momentum=0.9),
+        batch_size=32,
+        rng=np.random.default_rng(0),
+    )
+    trainer.fit(ds.x_train, ds.y_train, epochs=epochs)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module", params=["vgg16", "densenet", "lenet5"])
+def trained_other(request, tiny_dataset, mnist_dataset):
+    name = request.param
+    rng = np.random.default_rng(7)
+    if name == "lenet5":
+        ds = mnist_dataset
+        model = LeNet5(num_classes=10, rng=rng)
+    elif name == "vgg16":
+        ds = tiny_dataset
+        model = vgg16(scale=0.25, rng=rng)
+    else:
+        ds = tiny_dataset
+        model = densenet(scale=0.5, rng=rng, depth=10)
+    return name, quick_train(model, ds), ds
+
+
+class TestAllTopologies:
+    def test_every_scheme_runs(self, trained_other):
+        name, model, ds = trained_other
+        calib = ds.x_train[:24]
+        for scheme in (static_scheme(8), drq_scheme(8, 4), odq_scheme(0.3)):
+            acc, records = run_scheme(
+                model, scheme, calib, ds.x_test[:24], ds.y_test[:24]
+            )
+            assert 0.0 <= acc <= 1.0
+            assert all(r.outputs_total > 0 for r in records.values())
+
+    def test_simulator_consumes_all_topologies(self, trained_other):
+        name, model, ds = trained_other
+        calib = ds.x_train[:24]
+        _, records = run_scheme(
+            model, odq_scheme(0.3), calib, ds.x_test[:16], ds.y_test[:16]
+        )
+        wls = workloads_from_records(records)
+        sim = build_accelerator("ODQ").simulate(wls)
+        assert sim.total_cycles > 0
+        assert np.isfinite(sim.total_energy.total_pj)
+
+    def test_conv_layer_counts(self, trained_other):
+        name, model, ds = trained_other
+        calib = ds.x_train[:16]
+        _, records = run_scheme(
+            model, static_scheme(8), calib, ds.x_test[:8], ds.y_test[:8]
+        )
+        expected = {"vgg16": 13, "densenet": 9, "lenet5": 2}
+        assert len(records) == expected[name]

@@ -1,0 +1,132 @@
+"""Model topologies: depths, shapes, and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    LeNet5,
+    available_models,
+    build_model,
+    densenet,
+    resnet20,
+    resnet56,
+    vgg16,
+    PAPER_MODELS,
+)
+from repro.models.resnet import BasicBlock
+from repro.nn import Conv2d, Tensor
+
+
+def conv_count(model):
+    return len([m for _, m in model.named_modules() if isinstance(m, Conv2d)])
+
+
+class TestResNet:
+    def test_resnet20_has_20_weight_layers(self):
+        model = resnet20(scale=0.25)
+        # 19 convs + 1 fc = 20 weighted layers.
+        assert conv_count(model) == 19
+        assert model.depth == 20
+
+    def test_resnet56_has_56_weight_layers(self):
+        model = resnet56(scale=0.125)
+        assert conv_count(model) == 55
+        assert model.depth == 56
+
+    def test_forward_shape(self, rng):
+        model = resnet20(scale=0.25, rng=rng)
+        out = model(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_option_a_shortcut_is_parameter_free(self):
+        block = BasicBlock(4, 8, stride=2)
+        # Only the two convs + two BNs carry parameters.
+        assert len(block.parameters()) == 6
+
+    def test_shortcut_downsamples(self, rng):
+        block = BasicBlock(4, 8, stride=2, rng=rng)
+        out = block(Tensor(rng.normal(size=(1, 4, 8, 8))))
+        assert out.shape == (1, 8, 4, 4)
+
+    def test_stage_strides(self, rng):
+        """Feature maps halve twice across the three stages."""
+        model = resnet20(scale=0.25, rng=rng)
+        x = Tensor(rng.normal(size=(1, 3, 32, 32)))
+        h = model.bn1(model.conv1(x)).relu()
+        s1 = model.stage1(h)
+        s2 = model.stage2(s1)
+        s3 = model.stage3(s2)
+        assert s1.shape[2:] == (32, 32)
+        assert s2.shape[2:] == (16, 16)
+        assert s3.shape[2:] == (8, 8)
+
+
+class TestVGG:
+    def test_vgg16_has_13_convs(self):
+        assert conv_count(vgg16(scale=0.125)) == 13
+
+    def test_forward_shape(self, rng):
+        model = vgg16(scale=0.125, rng=rng)
+        out = model(Tensor(rng.normal(size=(2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+
+class TestDenseNet:
+    def test_depth_rule(self):
+        with pytest.raises(ValueError):
+            densenet(depth=21)
+
+    def test_channel_growth(self, rng):
+        model = densenet(scale=0.5, rng=rng, depth=10)
+        out = model(Tensor(rng.normal(size=(1, 3, 16, 16))))
+        assert out.shape == (1, 10)
+
+    def test_dense_layer_concatenates(self, rng):
+        from repro.models.densenet import DenseLayer
+
+        layer = DenseLayer(4, growth=3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(1, 4, 8, 8))))
+        assert out.shape == (1, 7, 8, 8)
+
+
+class TestLeNet:
+    def test_forward_28x28(self, rng):
+        model = LeNet5(rng=rng)
+        out = model(Tensor(rng.normal(size=(2, 1, 28, 28))))
+        assert out.shape == (2, 10)
+
+    def test_parameter_count_classic(self):
+        model = LeNet5()
+        # Classic LeNet-5 has ~61.7k parameters.
+        total = sum(p.size for p in model.parameters())
+        assert 60_000 < total < 64_000
+
+
+class TestRegistry:
+    def test_paper_models_buildable(self, rng):
+        for name in PAPER_MODELS:
+            model = build_model(name, scale=0.125, rng=rng)
+            out = model(Tensor(rng.normal(size=(1, 3, 16, 16))))
+            assert out.shape == (1, 10)
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+    def test_available_lists_all(self):
+        names = available_models()
+        assert set(PAPER_MODELS).issubset(names)
+        assert "lenet5" in names
+
+    def test_num_classes_propagates(self, rng):
+        model = build_model("resnet20", num_classes=100, scale=0.25, rng=rng)
+        out = model(Tensor(rng.normal(size=(1, 3, 16, 16))))
+        assert out.shape == (1, 100)
+
+    def test_scale_changes_width_not_depth(self):
+        small = build_model("resnet20", scale=0.25)
+        big = build_model("resnet20", scale=1.0)
+        assert conv_count(small) == conv_count(big)
+        p_small = sum(p.size for p in small.parameters())
+        p_big = sum(p.size for p in big.parameters())
+        assert p_big > 10 * p_small

@@ -1,0 +1,278 @@
+"""Gradient checks: every autograd primitive vs central finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def numeric_grad(fn, x, g, eps=1e-6):
+    """Central-difference gradient of sum(fn(x) * g) w.r.t. x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        xp, xm = x.copy(), x.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        grad[idx] = ((fn(xp) * g).sum() - (fn(xm) * g).sum()) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_unary(op, x, atol=1e-5):
+    t = Tensor(x, requires_grad=True)
+    out = op(t)
+    g = np.random.default_rng(0).normal(size=out.shape)
+    out.backward(g)
+    num = numeric_grad(lambda v: op(Tensor(v)).data, x, g)
+    np.testing.assert_allclose(t.grad, num, atol=atol)
+
+
+class TestElementwiseGrads:
+    def setup_method(self):
+        self.rng = np.random.default_rng(42)
+
+    def test_add(self):
+        x = self.rng.normal(size=(3, 4))
+        check_unary(lambda t: t + 2.5, x)
+
+    def test_mul(self):
+        x = self.rng.normal(size=(3, 4))
+        check_unary(lambda t: t * 3.0, x)
+
+    def test_mul_tensor_both_sides(self):
+        a = Tensor(self.rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(self.rng.normal(size=(3, 4)), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, b.data)
+        np.testing.assert_allclose(b.grad, a.data)
+
+    def test_div(self):
+        x = self.rng.normal(size=(3, 4)) + 3.0
+        check_unary(lambda t: 1.0 / t, x)
+
+    def test_pow(self):
+        x = np.abs(self.rng.normal(size=(3, 4))) + 0.5
+        check_unary(lambda t: t**3, x)
+
+    def test_exp(self):
+        check_unary(lambda t: t.exp(), self.rng.normal(size=(3, 3)))
+
+    def test_log(self):
+        check_unary(lambda t: t.log(), np.abs(self.rng.normal(size=(3, 3))) + 0.5)
+
+    def test_tanh(self):
+        check_unary(lambda t: t.tanh(), self.rng.normal(size=(3, 3)))
+
+    def test_sqrt(self):
+        check_unary(lambda t: t.sqrt(), np.abs(self.rng.normal(size=(3, 3))) + 0.5)
+
+    def test_relu_away_from_kink(self):
+        x = self.rng.normal(size=(4, 4))
+        x[np.abs(x) < 0.1] = 0.5
+        check_unary(lambda t: t.relu(), x)
+
+    def test_abs_away_from_zero(self):
+        x = self.rng.normal(size=(4, 4))
+        x[np.abs(x) < 0.1] = 0.7
+        check_unary(lambda t: t.abs(), x)
+
+    def test_clip(self):
+        x = self.rng.normal(size=(4, 4)) * 2
+        x[np.abs(np.abs(x) - 1.0) < 0.05] = 0.0  # avoid the kinks
+        check_unary(lambda t: t.clip(-1.0, 1.0), x)
+
+
+class TestBroadcastGrads:
+    def test_broadcast_add_bias(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((4, 3)))
+        np.testing.assert_allclose(b.grad, np.full(3, 4.0))
+
+    def test_broadcast_mul_keepdims(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        s = Tensor(rng.normal(size=(1, 3, 1)), requires_grad=True)
+        (a * s).sum().backward()
+        assert s.grad.shape == (1, 3, 1)
+        np.testing.assert_allclose(s.grad, a.data.sum(axis=(0, 2), keepdims=True))
+
+
+class TestReductionGrads:
+    def test_sum_axis(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 4, 5))
+        t = Tensor(x, requires_grad=True)
+        out = t.sum(axis=1)
+        g = rng.normal(size=out.shape)
+        out.backward(g)
+        np.testing.assert_allclose(t.grad, np.broadcast_to(g[:, None, :], x.shape))
+
+    def test_mean(self):
+        t = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        t.mean().backward()
+        np.testing.assert_allclose(t.grad, np.full((3, 4), 1 / 12))
+
+    def test_max_unique(self):
+        x = np.array([[1.0, 5.0, 2.0], [7.0, 0.0, 3.0]])
+        t = Tensor(x, requires_grad=True)
+        t.max(axis=1).sum().backward()
+        expected = np.array([[0, 1, 0], [1, 0, 0]], dtype=float)
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_max_ties_share_gradient(self):
+        x = np.array([[2.0, 2.0, 1.0]])
+        t = Tensor(x, requires_grad=True)
+        t.max(axis=1).sum().backward()
+        np.testing.assert_allclose(t.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestShapeGrads:
+    def test_reshape(self):
+        t = Tensor(np.arange(6.0), requires_grad=True)
+        t.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones(6))
+
+    def test_transpose(self):
+        rng = np.random.default_rng(0)
+        t = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        out = t.transpose(2, 0, 1)
+        g = rng.normal(size=out.shape)
+        out.backward(g)
+        np.testing.assert_allclose(t.grad, g.transpose(1, 2, 0))
+
+    def test_getitem(self):
+        t = Tensor(np.arange(10.0), requires_grad=True)
+        t[2:5].sum().backward()
+        expected = np.zeros(10)
+        expected[2:5] = 1
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_concat(self):
+        a = Tensor(np.ones((2, 2, 2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3, 2, 2)), requires_grad=True)
+        out = Tensor.concat([a, b], axis=1)
+        g = np.random.default_rng(0).normal(size=out.shape)
+        out.backward(g)
+        np.testing.assert_allclose(a.grad, g[:, :2])
+        np.testing.assert_allclose(b.grad, g[:, 2:])
+
+    def test_pad_channels(self):
+        t = Tensor(np.ones((1, 2, 3, 3)), requires_grad=True)
+        out = t.pad_channels(3)
+        assert out.shape == (1, 5, 3, 3)
+        g = np.random.default_rng(0).normal(size=out.shape)
+        out.backward(g)
+        np.testing.assert_allclose(t.grad, g[:, :2])
+
+
+class TestMatmulGrads:
+    def test_matmul(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        out = a @ b
+        g = rng.normal(size=(4, 5))
+        out.backward(g)
+        np.testing.assert_allclose(a.grad, g @ b.data.T)
+        np.testing.assert_allclose(b.grad, a.data.T @ g)
+
+    def test_matmul_rejects_1d(self):
+        with pytest.raises(ValueError):
+            Tensor(np.ones(3)) @ Tensor(np.ones((3, 2)))
+
+
+class TestFunctionalGrads:
+    def test_conv2d_input_and_weight_grad(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        xt = Tensor(x, requires_grad=True)
+        wt = Tensor(w, requires_grad=True)
+        bt = Tensor(b, requires_grad=True)
+        out = F.conv2d(xt, wt, bt, stride=2, padding=1)
+        g = rng.normal(size=out.shape)
+        out.backward(g)
+
+        num_x = numeric_grad(
+            lambda v: F.conv2d(Tensor(v), Tensor(w), Tensor(b), 2, 1).data, x, g
+        )
+        np.testing.assert_allclose(xt.grad, num_x, atol=1e-5)
+        num_w = numeric_grad(
+            lambda v: F.conv2d(Tensor(x), Tensor(v), Tensor(b), 2, 1).data, w, g
+        )
+        np.testing.assert_allclose(wt.grad, num_w, atol=1e-5)
+        np.testing.assert_allclose(bt.grad, g.sum(axis=(0, 2, 3)), atol=1e-8)
+
+    def test_maxpool_grad(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 2, 6, 6))
+        t = Tensor(x, requires_grad=True)
+        out = F.max_pool2d(t, 2)
+        g = rng.normal(size=out.shape)
+        out.backward(g)
+        num = numeric_grad(lambda v: F.max_pool2d(Tensor(v), 2).data, x, g)
+        np.testing.assert_allclose(t.grad, num, atol=1e-5)
+
+    def test_avgpool_grad(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 2, 6, 6))
+        t = Tensor(x, requires_grad=True)
+        out = F.avg_pool2d(t, 3)
+        g = rng.normal(size=out.shape)
+        out.backward(g)
+        num = numeric_grad(lambda v: F.avg_pool2d(Tensor(v), 3).data, x, g)
+        np.testing.assert_allclose(t.grad, num, atol=1e-5)
+
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        out = F.softmax(Tensor(rng.normal(size=(5, 7)) * 10))
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(5), atol=1e-12)
+
+    def test_log_softmax_grad(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(3, 4))
+        t = Tensor(x, requires_grad=True)
+        out = F.log_softmax(t)
+        g = rng.normal(size=out.shape)
+        out.backward(g)
+        num = numeric_grad(lambda v: F.log_softmax(Tensor(v)).data, x, g)
+        np.testing.assert_allclose(t.grad, num, atol=1e-5)
+
+
+class TestBackwardMechanics:
+    def test_grad_accumulates_over_multiple_uses(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        (t * t).backward(np.array([1.0]))  # d(t^2)/dt = 2t = 4
+        np.testing.assert_allclose(t.grad, [4.0])
+
+    def test_backward_requires_scalar_without_grad(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(1)).backward()
+
+    def test_detach_cuts_tape(self):
+        t = Tensor(np.array([3.0]), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        out = Tensor(np.array([1.0]), requires_grad=True) * d
+        out.backward(np.array([1.0]))
+        assert t.grad is None
+
+    def test_deep_chain_no_recursion_error(self):
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        out = t
+        for _ in range(3000):
+            out = out + 1.0
+        out.backward(np.array([1.0]))
+        np.testing.assert_allclose(t.grad, [1.0])

@@ -1,0 +1,97 @@
+"""Additional functional-op coverage: strides, shapes, composite ops."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+class TestConvShapes:
+    @pytest.mark.parametrize(
+        "in_hw,k,s,p,expect",
+        [(8, 3, 1, 1, 8), (8, 3, 2, 1, 4), (7, 3, 2, 1, 4), (5, 5, 1, 0, 1), (9, 1, 3, 0, 3)],
+    )
+    def test_output_spatial(self, rng, in_hw, k, s, p, expect):
+        x = Tensor(rng.normal(size=(1, 2, in_hw, in_hw)))
+        w = Tensor(rng.normal(size=(3, 2, k, k)))
+        assert F.conv2d(x, w, None, s, p).shape == (1, 3, expect, expect)
+
+    def test_channel_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(rng.normal(size=(1, 2, 4, 4))),
+                     Tensor(rng.normal(size=(3, 5, 3, 3))))
+
+    def test_rect_kernel_rejected(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(rng.normal(size=(1, 2, 4, 4))),
+                     Tensor(rng.normal(size=(3, 2, 3, 2))))
+
+    def test_1x1_conv_is_channel_mix(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        w = rng.normal(size=(5, 3, 1, 1))
+        out = F.conv2d(Tensor(x), Tensor(w)).data
+        want = np.einsum("nchw,oc->nohw", x, w[:, :, 0, 0])
+        np.testing.assert_allclose(out, want, atol=1e-12)
+
+
+class TestPooling:
+    def test_overlapping_max_pool(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5))
+        out = F.max_pool2d(Tensor(x), kernel=3, stride=1)
+        assert out.shape == (1, 1, 3, 3)
+        assert out.data[0, 0, 0, 0] == x[0, 0, :3, :3].max()
+
+    def test_avg_equals_mean(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = F.avg_pool2d(Tensor(x), 4)
+        np.testing.assert_allclose(out.data[..., 0, 0], x.mean(axis=(2, 3)), atol=1e-12)
+
+    def test_global_avg_pool_shape(self, rng):
+        out = F.global_avg_pool2d(Tensor(rng.normal(size=(2, 7, 3, 5))))
+        assert out.shape == (2, 7)
+
+
+class TestLinear:
+    def test_matches_manual(self, rng):
+        x = rng.normal(size=(4, 6))
+        w = rng.normal(size=(3, 6))
+        b = rng.normal(size=3)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b)).data
+        np.testing.assert_allclose(out, x @ w.T + b, atol=1e-12)
+
+
+class TestDropout:
+    def test_p_zero_identity(self, rng):
+        x = Tensor(rng.normal(size=(5, 5)))
+        assert F.dropout(x, 0.0, rng, training=True) is x
+
+    def test_eval_identity(self, rng):
+        x = Tensor(rng.normal(size=(5, 5)))
+        assert F.dropout(x, 0.5, rng, training=False) is x
+
+    def test_grad_flows_through_kept_units(self, rng):
+        x = Tensor(np.ones((100,)), requires_grad=True)
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=True)
+        out.sum().backward()
+        kept = out.data != 0
+        np.testing.assert_allclose(x.grad[kept], 2.0)
+        np.testing.assert_allclose(x.grad[~kept], 0.0)
+
+
+class TestSoftmaxFamily:
+    def test_softmax_invariant_to_shift(self, rng):
+        x = rng.normal(size=(3, 5))
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_log_softmax_consistent_with_softmax(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-10
+        )
+
+    def test_flatten_matches_reshape(self, rng):
+        x = rng.normal(size=(3, 2, 2, 2))
+        np.testing.assert_array_equal(F.flatten(Tensor(x)).data, x.reshape(3, 8))

@@ -1,0 +1,52 @@
+"""Weight initialisation statistics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.init import _fan_in_out, kaiming_normal, xavier_uniform
+
+
+class TestFans:
+    def test_dense(self):
+        assert _fan_in_out((10, 20)) == (20, 10)
+
+    def test_conv(self):
+        # (out, in, k, k): fan_in = in*k*k, fan_out = out*k*k
+        assert _fan_in_out((8, 4, 3, 3)) == (36, 72)
+
+    def test_unsupported(self):
+        with pytest.raises(ValueError):
+            _fan_in_out((3,))
+
+
+class TestKaiming:
+    def test_std_matches_he_rule(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_normal((256, 128, 3, 3), rng)
+        expected = np.sqrt(2.0 / (128 * 9))
+        assert abs(w.std() - expected) / expected < 0.05
+
+    def test_zero_mean(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_normal((64, 64), rng)
+        assert abs(w.mean()) < 0.01
+
+    def test_deterministic_per_seed(self):
+        a = kaiming_normal((4, 4), np.random.default_rng(3))
+        b = kaiming_normal((4, 4), np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestXavier:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        w = xavier_uniform((100, 100), rng)
+        a = np.sqrt(6.0 / 200)
+        assert w.min() >= -a and w.max() <= a
+
+    def test_variance_matches_glorot(self):
+        rng = np.random.default_rng(0)
+        w = xavier_uniform((512, 512), rng)
+        a = np.sqrt(6.0 / 1024)
+        expected_var = a**2 / 3
+        assert abs(w.var() - expected_var) / expected_var < 0.05

@@ -1,0 +1,119 @@
+"""Losses, metrics, and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Linear,
+    Sequential,
+    Tensor,
+    Trainer,
+    accuracy,
+    cross_entropy,
+    evaluate,
+    iterate_minibatches,
+    mse_loss,
+    top_k_accuracy,
+)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_log_c(self):
+        logits = Tensor(np.zeros((4, 10)), requires_grad=True)
+        loss = cross_entropy(logits, np.zeros(4, dtype=int))
+        np.testing.assert_allclose(loss.item(), np.log(10), atol=1e-10)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        loss = cross_entropy(Tensor(logits, requires_grad=True), np.array([1, 2]))
+        assert loss.item() < 1e-6
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        y = np.array([0, 2, 3])
+        cross_entropy(logits, y).backward()
+        p = np.exp(logits.data) / np.exp(logits.data).sum(axis=1, keepdims=True)
+        onehot = np.zeros((3, 4))
+        onehot[np.arange(3), y] = 1
+        np.testing.assert_allclose(logits.grad, (p - onehot) / 3, atol=1e-10)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.zeros(3, dtype=int))
+
+    def test_numerically_stable_for_huge_logits(self):
+        logits = Tensor(np.array([[1e4, -1e4]]), requires_grad=True)
+        loss = cross_entropy(logits, np.array([0]))
+        assert np.isfinite(loss.item())
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        logits = np.array([[1, 0], [0, 1], [1, 0]], dtype=float)
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_top_k(self):
+        logits = np.array([[0.1, 0.5, 0.4, 0.0]])
+        assert top_k_accuracy(logits, np.array([2]), k=2) == 1.0
+        assert top_k_accuracy(logits, np.array([3]), k=2) == 0.0
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        assert mse_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+
+
+class TestMinibatches:
+    def test_covers_all_data_without_shuffle(self):
+        x = np.arange(10).reshape(10, 1)
+        y = np.arange(10)
+        seen = np.concatenate([xb.reshape(-1) for xb, _ in iterate_minibatches(x, y, 3)])
+        np.testing.assert_array_equal(np.sort(seen), np.arange(10))
+
+    def test_shuffle_permutes(self):
+        x = np.arange(100).reshape(100, 1)
+        y = np.arange(100)
+        rng = np.random.default_rng(0)
+        seen = np.concatenate([xb.reshape(-1) for xb, _ in iterate_minibatches(x, y, 10, rng)])
+        assert not np.array_equal(seen, np.arange(100))
+        np.testing.assert_array_equal(np.sort(seen), np.arange(100))
+
+    def test_batch_labels_match(self):
+        x = np.arange(10).reshape(10, 1).astype(float)
+        y = np.arange(10)
+        for xb, yb in iterate_minibatches(x, y, 4, np.random.default_rng(1)):
+            np.testing.assert_array_equal(xb.reshape(-1).astype(int), yb)
+
+
+class TestTrainer:
+    def test_learns_linearly_separable_task(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 4))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        model = Sequential(Linear(4, 2, rng=rng))
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.5), batch_size=32,
+                          rng=np.random.default_rng(0))
+        hist = trainer.fit(x, y, x, y, epochs=10)
+        assert hist.test_acc[-1] > 0.95
+        assert hist.train_loss[-1] < hist.train_loss[0]
+
+    def test_history_lengths(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(32, 4))
+        y = rng.integers(0, 2, 32)
+        model = Sequential(Linear(4, 2, rng=rng))
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1))
+        hist = trainer.fit(x, y, epochs=3)
+        assert len(hist.train_loss) == 3
+        assert hist.test_acc == []
+        assert np.isnan(hist.final_test_acc)
+
+    def test_evaluate_restores_training_mode(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(4, 2, rng=rng))
+        model.train()
+        evaluate(model, rng.normal(size=(8, 4)), np.zeros(8, dtype=int))
+        assert model.training

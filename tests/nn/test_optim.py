@@ -1,0 +1,100 @@
+"""Optimisers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, CosineLR, StepLR, Tensor
+from repro.nn.optim import Optimizer
+
+
+def quadratic_params(start=5.0):
+    return [Tensor(np.array([start]), requires_grad=True)]
+
+
+def step_quadratic(opt, params, n=100):
+    """Minimise f(p) = p^2 for n steps."""
+    for _ in range(n):
+        loss = (params[0] * params[0]).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return float(params[0].data[0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_params()
+        assert abs(step_quadratic(SGD(p, lr=0.1, momentum=0.0), p)) < 1e-6
+
+    def test_momentum_accelerates(self):
+        p1, p2 = quadratic_params(), quadratic_params()
+        v1 = abs(step_quadratic(SGD(p1, lr=0.01, momentum=0.0), p1, n=30))
+        v2 = abs(step_quadratic(SGD(p2, lr=0.01, momentum=0.9), p2, n=30))
+        assert v2 < v1
+
+    def test_weight_decay_shrinks_params(self):
+        p = [Tensor(np.array([1.0]), requires_grad=True)]
+        opt = SGD(p, lr=0.1, momentum=0.0, weight_decay=1.0)
+        # Zero gradient, only decay.
+        p[0].grad = np.zeros(1)
+        opt.step()
+        assert p[0].data[0] < 1.0
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_params()
+        opt = SGD(p, lr=0.1)
+        before = p[0].data.copy()
+        opt.step()  # no backward happened
+        np.testing.assert_array_equal(p[0].data, before)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD(quadratic_params(), lr=0.0)
+
+    def test_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_params()
+        assert abs(step_quadratic(Adam(p, lr=0.3), p, n=200)) < 1e-3
+
+    def test_bias_correction_first_step_magnitude(self):
+        """First Adam step should be ~lr regardless of gradient scale."""
+        for scale in (1e-3, 1e3):
+            p = [Tensor(np.array([0.0]), requires_grad=True)]
+            opt = Adam(p, lr=0.1)
+            p[0].grad = np.array([scale])
+            opt.step()
+            assert abs(abs(p[0].data[0]) - 0.1) < 0.01
+
+
+class TestSchedules:
+    def test_step_lr(self):
+        p = quadratic_params()
+        opt = SGD(p, lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert abs(opt.lr - 0.1) < 1e-12
+
+    def test_cosine_lr_endpoints(self):
+        p = quadratic_params()
+        opt = SGD(p, lr=1.0)
+        sched = CosineLR(opt, t_max=10, min_lr=0.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr < 1e-9
+
+    def test_cosine_monotone_decreasing(self):
+        p = quadratic_params()
+        opt = SGD(p, lr=1.0)
+        sched = CosineLR(opt, t_max=5)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert all(a > b for a, b in zip(lrs, lrs[1:]))

@@ -1,0 +1,82 @@
+"""Tensor mechanics not covered by the gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, _unbroadcast
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0])
+        assert t.dtype == np.float64
+        assert t.shape == (2,)
+
+    def test_int_input_promoted_to_float(self):
+        assert Tensor(np.arange(3)).dtype == np.float64
+
+    def test_float32_preserved(self):
+        assert Tensor(np.zeros(2, dtype=np.float32)).dtype == np.float32
+
+    def test_from_tensor_shares_data(self):
+        a = Tensor(np.ones(3))
+        b = Tensor(a)
+        assert b.data is a.data
+
+    def test_repr_mentions_grad(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        assert "requires_grad=True" in repr(t)
+
+    def test_len_size_ndim(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert len(t) == 2 and t.size == 6 and t.ndim == 2
+
+    def test_item(self):
+        assert Tensor(np.array([3.5])).item() == 3.5
+
+
+class TestUnbroadcast:
+    def test_prepended_axes_summed(self):
+        g = np.ones((4, 3))
+        out = _unbroadcast(g, (3,))
+        np.testing.assert_array_equal(out, [4.0, 4.0, 4.0])
+
+    def test_singleton_axes_summed(self):
+        g = np.ones((2, 5))
+        out = _unbroadcast(g, (2, 1))
+        np.testing.assert_array_equal(out, [[5.0], [5.0]])
+
+    def test_identity_when_shapes_match(self):
+        g = np.ones((2, 2))
+        assert _unbroadcast(g, (2, 2)) is g
+
+
+class TestOpsValues:
+    def test_arithmetic_chain(self):
+        a = Tensor(np.array([2.0]))
+        out = (3.0 - a) / (a + 1.0) * 4.0 - (-a)
+        # (3-2)/(3)*4 + 2 = 4/3 + 2
+        np.testing.assert_allclose(out.data, [4 / 3 + 2])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor(np.ones(2)) ** Tensor(np.ones(2))
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        (t * 2).sum().backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_no_tape_for_no_grad_inputs(self):
+        out = Tensor(np.ones(2)) + Tensor(np.ones(2))
+        assert not out.requires_grad
+        assert out._backward is None
+
+    def test_concat_values(self):
+        a = Tensor(np.zeros((1, 1, 2, 2)))
+        b = Tensor(np.ones((1, 2, 2, 2)))
+        out = Tensor.concat([a, b], axis=1)
+        assert out.shape == (1, 3, 2, 2)
+        assert out.data[:, 0].sum() == 0 and out.data[:, 1:].sum() == 8

@@ -1,0 +1,89 @@
+"""Property-based checks of the accelerator substrate models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.memory import DEFAULT_MEMORY, MemoryConfig, conv_layer_traffic, memory_cycles
+from repro.accel.schedule import candidate_sets, ideal_dynamic_schedule, static_schedule
+
+
+def traffic(images=1, in_c=16, out_c=16, k=3, hw=16, w_bits=8, a_bits=8, mem=DEFAULT_MEMORY):
+    return conv_layer_traffic(
+        in_c, out_c, k, hw, hw, images,
+        weight_bits=w_bits, act_bits=a_bits, reuse=mem.dense_reuse, mem=mem,
+    )
+
+
+class TestTrafficProperties:
+    @given(st.integers(min_value=1, max_value=16), st.integers(min_value=1, max_value=16))
+    def test_monotone_in_images(self, a, b):
+        lo, hi = sorted((a, b))
+        assert traffic(images=lo).total_bytes <= traffic(images=hi).total_bytes
+
+    @given(st.integers(min_value=2, max_value=16), st.integers(min_value=2, max_value=16))
+    def test_monotone_in_weight_bits(self, a, b):
+        lo, hi = sorted((a, b))
+        assert traffic(w_bits=lo).weight_bytes <= traffic(w_bits=hi).weight_bytes
+
+    @given(st.integers(min_value=4, max_value=256))
+    def test_nonnegative_components(self, out_c):
+        t = traffic(out_c=out_c)
+        assert t.weight_bytes >= 0 and t.input_bytes >= 0 and t.output_bytes >= 0
+
+    @given(st.floats(min_value=1.0, max_value=1000.0))
+    def test_cycles_inverse_in_bandwidth(self, bw):
+        mem = MemoryConfig(dram_bandwidth_bytes_per_cycle=bw)
+        t = traffic(mem=mem)
+        assert memory_cycles(t, mem) == pytest.approx(t.total_bytes / bw)
+
+
+class TestScheduleProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=24),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_static_work_conserving(self, loads, n):
+        res = static_schedule(loads, n)
+        assert res.busy_cycles.sum() == sum(loads) * 3
+        assert res.makespan_cycles == res.busy_cycles.max() if loads else 0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=24),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_ideal_respects_lower_bounds(self, loads, n):
+        res = ideal_dynamic_schedule(loads, n)
+        total = sum(loads) * 3
+        assert res.makespan_cycles >= total / n - 3  # ceil slack
+        assert res.makespan_cycles >= 0
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=27),
+    )
+    @settings(deadline=None)
+    def test_candidate_sets_cover_all_channels(self, channels, arrays):
+        sets = candidate_sets(channels, arrays)
+        union = set()
+        for s in sets:
+            union.update(s)
+        assert union == set(range(channels))
+
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.integers(min_value=3, max_value=12),
+    )
+    @settings(deadline=None)
+    def test_per_cluster_coverage(self, channels, arrays):
+        """The paper's constraint: each *cluster* covers every channel."""
+        clusters = 3
+        sets = candidate_sets(channels, arrays, clusters=clusters)
+        per_cluster = arrays // clusters
+        if per_cluster == 0:
+            return
+        for c in range(clusters):
+            covered = set()
+            for a in range(c * per_cluster, (c + 1) * per_cluster):
+                covered.update(sets[a])
+            assert covered == set(range(channels))

@@ -1,0 +1,149 @@
+"""Cross-module property-based invariants (hypothesis).
+
+These span module boundaries — the single-module properties live next to
+their modules; here are the ones that tie the reproduction together.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.alloc import (
+    choose_allocation,
+    idle_fractions,
+    max_sensitive_fraction,
+    table1_configurations,
+)
+from repro.accel.energy import DEFAULT_ENERGY, mac_energy_pj
+from repro.accel.pe import bitfusion_mac_cycles
+from repro.core.base import int_conv2d
+from repro.core.odq import odq_mixed_conv, odq_weight_qparams
+from repro.quant.bitsplit import cross_terms, split_planes
+from repro.quant.uniform import (
+    affine_qparams,
+    fake_quantize,
+    quantize,
+    symmetric_qparams,
+)
+
+
+class TestQuantizationInvariants:
+    @given(
+        st.lists(st.floats(-10, 10), min_size=1, max_size=64),
+        st.integers(min_value=2, max_value=8),
+    )
+    def test_fake_quant_idempotent(self, values, bits):
+        """Quantizing an already-quantized value is the identity."""
+        qp = symmetric_qparams(10.0, bits)
+        x = np.array(values)
+        once = fake_quantize(x, qp)
+        twice = fake_quantize(once, qp)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    @given(st.integers(min_value=2, max_value=8))
+    def test_affine_zero_is_exact(self, bits):
+        qp = affine_qparams(-1.3, 2.7, bits)
+        assert fake_quantize(np.array([0.0]), qp)[0] == 0.0
+
+
+class TestEq3EndToEnd:
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_odq_mixed_conv_mask_semantics(self, seed):
+        """For random layers: out == full where |partial|>t, else partial."""
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 1, (1, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3)) * 0.5
+        qp_a = affine_qparams(0.0, 1.0, 4)
+        qp_w = odq_weight_qparams(w, 4)
+        t = float(rng.uniform(0, 0.5))
+        r = odq_mixed_conv(x, w, None, 1, 1, t, qp_a, qp_w)
+        m = r["mask"].mask
+        np.testing.assert_array_equal(r["out"][m], r["full"][m])
+        np.testing.assert_array_equal(r["out"][~m], r["partial"][~m])
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_uncompensated_partial_is_pure_hh_conv(self, seed):
+        """Without compensation, partial == (HH conv << 2N) - zp term,
+        i.e., exactly the predictor hardware's Eq.-3 term."""
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 1, (1, 2, 4, 4))
+        w = rng.normal(size=(2, 2, 3, 3)) * 0.5
+        qp_a = affine_qparams(0.0, 1.0, 4)
+        qp_w = odq_weight_qparams(w, 4)
+        r = odq_mixed_conv(
+            x, w, None, 1, 0, 0.1, qp_a, qp_w, compensate_low_bits=False
+        )
+        q = quantize(x, qp_a)
+        qw = quantize(w, qp_w)
+        hh = int_conv2d(
+            split_planes(q, qp_a).high, split_planes(qw, qp_w).high, 1, 0
+        )
+        w_sum = qw.sum(axis=(1, 2, 3)).reshape(1, -1, 1, 1)
+        want = qp_a.scale * qp_w.scale * ((hh << 4) - qp_a.zero_point * w_sum)
+        np.testing.assert_allclose(r["partial"], want, atol=1e-12)
+
+
+class TestAcceleratorInvariants:
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_dynamic_allocation_minimizes_makespan_among_bubble_free(self, s):
+        """The paper's rule — most predictor-heavy *bubble-free* config —
+        is makespan-minimal among all bubble-free configs (a config that
+        admits bubbles can occasionally be faster, but the paper excludes
+        those to keep the output-buffer occupancy stable)."""
+        chosen = choose_allocation(s)
+        t_chosen = idle_fractions(s, chosen).cycles
+        feasible = [c for c in table1_configurations() if c.max_sensitive_fraction >= s]
+        for cfg in feasible:
+            assert t_chosen <= idle_fractions(s, cfg).cycles + 1e-12
+
+    @given(
+        st.integers(min_value=1, max_value=32),
+        st.integers(min_value=1, max_value=32),
+    )
+    def test_bitfusion_cycles_monotone(self, a, b):
+        lo, hi = sorted((a, b))
+        assert bitfusion_mac_cycles(lo, 2) <= bitfusion_mac_cycles(hi, 2)
+
+    @given(st.integers(min_value=9, max_value=21))
+    def test_balance_is_tight(self, p):
+        """At exactly s = e/(3p) neither side idles."""
+        e = 27 - p
+        s = max_sensitive_fraction(p, e)
+        from repro.accel.alloc import PEAllocation
+
+        stats = idle_fractions(min(s, 1.0), PEAllocation(p, e))
+        assert stats.predictor_idle_fraction == pytest.approx(0.0, abs=1e-12)
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["int16", "int8", "pred_int2", "exec_int4"]),
+            st.integers(min_value=0, max_value=10**9),
+            min_size=1,
+        )
+    )
+    def test_mac_energy_additive(self, census):
+        total = mac_energy_pj(census)
+        parts = sum(mac_energy_pj({k: v}) for k, v in census.items())
+        assert total == pytest.approx(parts)
+
+    @given(st.floats(min_value=0.0, max_value=0.66), st.floats(min_value=0.0, max_value=0.66))
+    def test_odq_compute_monotone_in_sensitivity(self, s1, s2):
+        """More sensitive outputs never make the ODQ accelerator faster."""
+        from repro.accel.simulator import LayerWorkload, ODQAccelerator
+
+        lo, hi = sorted((s1, s2))
+
+        def wl(s):
+            total_out = 8 * 8 * 8
+            macs = total_out * 16 * 9
+            return LayerWorkload(
+                name="C", in_channels=16, out_channels=8, kernel=3,
+                out_h=8, out_w=8, images=1,
+                macs={"pred_int2": macs, "exec_int4": int(macs * s)},
+                sensitive_fraction=s,
+            )
+
+        accel = ODQAccelerator(scheduler="static")
+        assert accel.compute_cycles(wl(lo)) <= accel.compute_cycles(wl(hi)) + 1e-9

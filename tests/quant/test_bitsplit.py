@@ -1,0 +1,81 @@
+"""Eq.-3 bit-plane decomposition: exactness of the four-term expansion."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.quant.bitsplit import BitPlanes, cross_terms, predictor_term, split_planes
+from repro.quant.uniform import affine_qparams, quantize, symmetric_qparams
+
+
+def planes_from_ints(values, signed, low_bits=2, bits=4):
+    qp = (
+        symmetric_qparams(1.0, bits)
+        if signed
+        else affine_qparams(0.0, 1.0, bits)
+    )
+    return split_planes(np.array(values, dtype=np.int64), qp, low_bits)
+
+
+class TestSplitPlanes:
+    def test_unsigned_high_is_shift(self):
+        p = planes_from_ints([0, 5, 10, 15], signed=False)
+        np.testing.assert_array_equal(p.high, [0, 1, 2, 3])
+        np.testing.assert_array_equal(p.low, [0, 1, 2, 3])
+
+    def test_recompose_identity_signed(self):
+        q = np.arange(-8, 8)
+        p = planes_from_ints(q, signed=True)
+        np.testing.assert_array_equal(p.recompose(), q)
+
+    def test_high_shift(self):
+        p = planes_from_ints([0], signed=False)
+        assert p.high_shift == 4  # << 2*N_LBS with N_LBS=2
+
+
+class TestEq3CrossTerms:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=32),
+        st.lists(st.integers(min_value=-8, max_value=7), min_size=1, max_size=32),
+    )
+    def test_four_terms_sum_to_product(self, acts, weights):
+        """Property (Eq. 3): HH<<2N + HL<<N + LH<<N + LL == q_a * q_w,
+        for every INT4 activation x INT4 signed weight pair."""
+        n = min(len(acts), len(weights))
+        a = planes_from_ints(acts[:n], signed=False)
+        w = planes_from_ints(weights[:n], signed=True)
+        hh, hl, lh, ll = cross_terms(a, w)
+        np.testing.assert_array_equal(hh + hl + lh + ll, a.recompose() * w.recompose())
+
+    def test_predictor_term_equals_hh(self):
+        a = planes_from_ints(np.arange(16), signed=False)
+        w = planes_from_ints(np.arange(-8, 8), signed=True)
+        hh, _, _, _ = cross_terms(a, w)
+        np.testing.assert_array_equal(predictor_term(a, w), hh)
+
+    def test_predictor_dominates_for_large_magnitudes(self):
+        """The HH term carries most of the product for large operands —
+        the premise that makes output prediction from HBS meaningful."""
+        a = planes_from_ints([15], signed=False)
+        w = planes_from_ints([7], signed=True)
+        hh = predictor_term(a, w)[0]
+        full = (a.recompose() * w.recompose())[0]
+        assert hh / full > 0.4
+
+    def test_mismatched_low_bits_rejected(self):
+        import pytest
+
+        a = planes_from_ints([1], signed=False, low_bits=1)
+        w = planes_from_ints([1], signed=True, low_bits=2)
+        with pytest.raises(ValueError):
+            cross_terms(a, w)
+
+    @given(st.integers(min_value=1, max_value=3))
+    def test_exactness_for_other_splits(self, low_bits):
+        """Eq. 3 holds for any N_LBS, not just the paper's 2."""
+        rng = np.random.default_rng(0)
+        acts = rng.integers(0, 16, 64)
+        weights = rng.integers(-8, 8, 64)
+        a = planes_from_ints(acts, signed=False, low_bits=low_bits)
+        w = planes_from_ints(weights, signed=True, low_bits=low_bits)
+        hh, hl, lh, ll = cross_terms(a, w)
+        np.testing.assert_array_equal(hh + hl + lh + ll, acts * weights)

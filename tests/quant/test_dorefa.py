@@ -1,0 +1,109 @@
+"""DoReFa quantizers, STE gradients, and model transformation."""
+
+import numpy as np
+import pytest
+
+from repro.models import resnet20
+from repro.nn import SGD, Conv2d, Linear, Sequential, Tensor, cross_entropy
+from repro.quant.dorefa import (
+    QuantConv2d,
+    QuantLinear,
+    dorefa_weight_transform,
+    fake_quant_act,
+    fake_quant_weight,
+    quantize_k,
+    quantize_model_inplace,
+)
+
+
+class TestQuantizeK:
+    def test_levels(self):
+        x = np.linspace(0, 1, 100)
+        out = quantize_k(x, 2)
+        assert set(np.round(np.unique(out) * 3).astype(int)).issubset({0, 1, 2, 3})
+
+    def test_clips_out_of_range(self):
+        np.testing.assert_array_equal(quantize_k(np.array([-1.0, 2.0]), 4), [0.0, 1.0])
+
+    def test_identity_points(self):
+        np.testing.assert_allclose(quantize_k(np.array([0.0, 1.0]), 3), [0.0, 1.0])
+
+
+class TestWeightTransform:
+    def test_output_range(self, rng):
+        w = rng.normal(size=(100,)) * 3
+        out = dorefa_weight_transform(w, 4)
+        assert out.min() >= -1.0 and out.max() <= 1.0
+
+    def test_preserves_sign(self, rng):
+        w = rng.normal(size=(100,))
+        w[np.abs(w) < 0.2] = 0.5
+        out = dorefa_weight_transform(w, 4)
+        # Large-magnitude weights keep their sign.
+        big = np.abs(w) > 0.5
+        assert (np.sign(out[big]) == np.sign(w[big])).all()
+
+    def test_discrete_level_count(self, rng):
+        out = dorefa_weight_transform(rng.normal(size=1000), 2)
+        assert len(np.unique(out)) <= 4
+
+
+class TestSTE:
+    def test_weight_gradient_passes_through(self, rng):
+        w = Tensor(rng.normal(size=(4, 4)), requires_grad=True)
+        out = fake_quant_weight(w, 4)
+        g = rng.normal(size=(4, 4))
+        out.backward(g)
+        np.testing.assert_array_equal(w.grad, g)
+
+    def test_act_gradient_masked_outside_clip(self):
+        a = Tensor(np.array([-0.5, 0.5, 1.5]), requires_grad=True)
+        out = fake_quant_act(a, 4)
+        out.backward(np.ones(3))
+        np.testing.assert_array_equal(a.grad, [0.0, 1.0, 0.0])
+
+    def test_32bit_is_identity(self, rng):
+        w = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        assert fake_quant_weight(w, 32) is w
+
+
+class TestModelTransform:
+    def test_first_conv_skipped_by_default(self):
+        model = resnet20(scale=0.25, rng=np.random.default_rng(0))
+        quantize_model_inplace(model, 4, 4)
+        convs = [m for _, m in model.named_modules() if isinstance(m, Conv2d)]
+        plain = [c for c in convs if not isinstance(c, QuantConv2d)]
+        assert len(plain) == 1  # only conv1
+
+    def test_all_linear_become_quant(self):
+        model = Sequential(Linear(4, 4), Linear(4, 2))
+        quantize_model_inplace(model, 4, 4)
+        assert all(isinstance(l, QuantLinear) for l in model.layers)
+
+    def test_weights_shared_not_copied(self):
+        conv = Conv2d(2, 2, 3)
+        q = QuantConv2d.from_conv(conv, 4, 4)
+        assert q.weight is conv.weight
+
+    def test_idempotent(self):
+        model = Sequential(Linear(4, 2))
+        quantize_model_inplace(model, 4, 4)
+        first = model.layers[0]
+        quantize_model_inplace(model, 4, 4)
+        assert model.layers[0] is first
+
+    def test_qat_training_step_runs_and_learns(self, rng):
+        """A fake-quant model must still be trainable via STE."""
+        x = rng.normal(size=(64, 8))
+        y = (x[:, 0] > 0).astype(int)
+        model = Sequential(Linear(8, 16, rng=rng), Linear(16, 2, rng=rng))
+        quantize_model_inplace(model, w_bits=4, a_bits=4)
+        opt = SGD(model.parameters(), lr=0.2)
+        losses = []
+        for _ in range(40):
+            loss = cross_entropy(model(Tensor(x)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.7

@@ -1,0 +1,91 @@
+"""Batch-norm folding: exactness and structural coverage."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.models import densenet, resnet20, vgg16
+from repro.nn import BatchNorm2d, Conv2d, Identity, Sequential, Tensor
+from repro.quant.fold import fold_batchnorm, fold_conv_bn
+
+
+def _warm_bn(module, rng, shape):
+    module.train()
+    for _ in range(5):
+        module(Tensor(rng.normal(size=shape) * 2 + 0.5))
+    module.eval()
+
+
+class TestFoldConvBn:
+    def test_exact_equivalence(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1, rng=rng)
+        bn = BatchNorm2d(4)
+        seq = Sequential(conv, bn)
+        _warm_bn(seq, rng, (8, 3, 6, 6))
+        folded = fold_conv_bn(conv, bn)
+        x = rng.normal(size=(2, 3, 6, 6))
+        want = bn(conv(Tensor(x))).data
+        got = folded(Tensor(x)).data
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_conv_without_bias(self, rng):
+        conv = Conv2d(3, 4, 3, bias=False, rng=rng)
+        bn = BatchNorm2d(4)
+        seq = Sequential(conv, bn)
+        _warm_bn(seq, rng, (8, 3, 6, 6))
+        folded = fold_conv_bn(conv, bn)
+        assert folded.bias is not None
+        x = rng.normal(size=(2, 3, 6, 6))
+        np.testing.assert_allclose(
+            folded(Tensor(x)).data, bn(conv(Tensor(x))).data, atol=1e-10
+        )
+
+    def test_channel_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            fold_conv_bn(Conv2d(3, 4, 3, rng=rng), BatchNorm2d(8))
+
+
+class TestFoldModel:
+    @pytest.mark.parametrize("builder,expected_folds", [(resnet20, 19), (vgg16, 13)])
+    def test_network_equivalence(self, rng, builder, expected_folds):
+        model = builder(scale=0.25, rng=rng)
+        _warm_bn(model, rng, (4, 3, 16, 16))
+        x = rng.normal(size=(2, 3, 16, 16))
+        want = model(Tensor(x)).data
+        folded_model = copy.deepcopy(model)
+        n = fold_batchnorm(folded_model)
+        assert n == expected_folds
+        np.testing.assert_allclose(folded_model(Tensor(x)).data, want, atol=1e-9)
+        # No BatchNorm2d left on the folded paths.
+        remaining = folded_model.modules_of_type(BatchNorm2d)
+        assert len(remaining) == 0
+
+    def test_densenet_preactivation_untouched(self, rng):
+        """DenseNet's BN-before-conv layout has no conv->BN edge to fold
+        (except none); the model must pass through unchanged."""
+        model = densenet(scale=0.5, rng=rng, depth=10)
+        _warm_bn(model, rng, (4, 3, 16, 16))
+        x = rng.normal(size=(1, 3, 16, 16))
+        want = model(Tensor(x)).data
+        n = fold_batchnorm(model)
+        np.testing.assert_allclose(model(Tensor(x)).data, want, atol=1e-9)
+        assert n == 0
+
+    def test_training_mode_rejected(self, rng):
+        model = resnet20(scale=0.25, rng=rng)
+        model.train()
+        with pytest.raises(RuntimeError):
+            fold_batchnorm(model)
+
+    def test_folded_model_quantizes_fine(self, rng):
+        """Folded networks run through the static-quant pipeline."""
+        from repro.core import run_scheme, static_scheme
+
+        model = resnet20(scale=0.25, rng=rng)
+        _warm_bn(model, rng, (4, 3, 16, 16))
+        fold_batchnorm(model)
+        x = np.abs(rng.normal(size=(16, 3, 16, 16)))
+        y = rng.integers(0, 10, 16)
+        acc, records = run_scheme(model, static_scheme(8), x[:8], x, y)
+        assert len(records) == 19

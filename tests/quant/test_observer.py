@@ -1,0 +1,73 @@
+"""Range observers for calibration."""
+
+import numpy as np
+import pytest
+
+from repro.quant.observer import MinMaxObserver, PercentileObserver
+
+
+class TestMinMaxObserver:
+    def test_tracks_running_extremes(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([1.0, 2.0]))
+        obs.observe(np.array([-3.0, 0.5]))
+        qp = obs.qparams(8, signed=False)
+        assert qp.scale > 0
+        # Range must cover [-3, 2].
+        lo = (qp.qmin - qp.zero_point) * qp.scale
+        hi = (qp.qmax - qp.zero_point) * qp.scale
+        assert lo <= -3.0 + 0.05 and hi >= 2.0 - 0.05
+
+    def test_signed_symmetric_from_max_abs(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([-4.0, 1.0]))
+        qp = obs.qparams(4, signed=True)
+        assert qp.zero_point == 0
+        assert qp.scale == pytest.approx(4.0 / 7)
+
+    def test_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxObserver().qparams(8, signed=False)
+
+    def test_empty_array_ignored(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([]))
+        with pytest.raises(RuntimeError):
+            obs.qparams(8, False)
+
+
+class TestPercentileObserver:
+    def test_clips_outliers(self, rng):
+        obs = PercentileObserver(percentile=99.0)
+        data = rng.normal(size=10000)
+        data[0] = 1000.0  # extreme outlier
+        obs.observe(data)
+        qp = obs.qparams(8, signed=True)
+        max_repr = qp.qmax * qp.scale
+        assert max_repr < 10.0  # outlier did not blow up the range
+
+    def test_minmax_would_not_clip(self, rng):
+        mm = MinMaxObserver()
+        data = rng.normal(size=1000)
+        data[0] = 1000.0
+        mm.observe(data)
+        qp = mm.qparams(8, signed=True)
+        assert qp.qmax * qp.scale > 900
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            PercentileObserver(percentile=40.0)
+
+    def test_reservoir_bounds_memory(self, rng):
+        obs = PercentileObserver(reservoir=1024)
+        for _ in range(20):
+            obs.observe(rng.normal(size=5000))
+        held = sum(s.size for s in obs._samples)
+        assert held < 1024 + 20 * (1024 // 4)
+        assert obs.qparams(4, signed=True).scale > 0
+
+    def test_unsigned_range(self, rng):
+        obs = PercentileObserver(percentile=99.9)
+        obs.observe(rng.uniform(0, 1, 5000))
+        qp = obs.qparams(4, signed=False)
+        assert 0.9 < qp.qmax * qp.scale < 1.2

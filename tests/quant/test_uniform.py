@@ -1,0 +1,88 @@
+"""Uniform quantizer semantics and error bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.quant.uniform import (
+    QParams,
+    affine_qparams,
+    dequantize,
+    fake_quantize,
+    quantization_error_bound,
+    quantize,
+    symmetric_qparams,
+)
+
+
+class TestQParams:
+    def test_symmetric_covers_range(self):
+        qp = symmetric_qparams(2.0, 4)
+        assert qp.signed and qp.zero_point == 0
+        assert qp.qmin == -8 and qp.qmax == 7
+        assert qp.scale == pytest.approx(2.0 / 7)
+
+    def test_affine_includes_zero(self):
+        qp = affine_qparams(0.5, 2.0, 4)  # lo forced down to 0
+        assert dequantize(np.array([qp.zero_point]), qp)[0] == 0.0
+
+    def test_affine_negative_range(self):
+        qp = affine_qparams(-1.0, 1.0, 8)
+        x = np.array([-1.0, 0.0, 1.0])
+        deq = fake_quantize(x, qp)
+        np.testing.assert_allclose(deq, x, atol=qp.scale)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            QParams(scale=0.0, zero_point=0, bits=4, signed=True)
+
+    def test_zero_point_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            QParams(scale=1.0, zero_point=99, bits=4, signed=False)
+
+    def test_degenerate_ranges_handled(self):
+        # max_abs = 0 and hi == lo must still give valid (tiny-scale) qparams.
+        assert symmetric_qparams(0.0, 4).scale > 0
+        assert affine_qparams(0.0, 0.0, 4).scale > 0
+
+
+class TestQuantizeDequantize:
+    def test_clamping(self):
+        qp = symmetric_qparams(1.0, 4)
+        q = quantize(np.array([-100.0, 100.0]), qp)
+        np.testing.assert_array_equal(q, [qp.qmin, qp.qmax])
+
+    def test_integer_output_dtype(self):
+        qp = affine_qparams(0, 1, 4)
+        assert quantize(np.array([0.5]), qp).dtype == np.int64
+
+    def test_zero_maps_to_zero_exactly(self):
+        qp = affine_qparams(-0.3, 1.7, 4)
+        assert fake_quantize(np.array([0.0]), qp)[0] == 0.0
+
+    @given(
+        st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=1, max_size=50),
+        st.integers(min_value=2, max_value=8),
+    )
+    def test_roundtrip_error_bounded(self, values, bits):
+        """Property: in-range values dequantize within half a step."""
+        x = np.array(values)
+        qp = symmetric_qparams(1.0, bits)
+        err = np.abs(fake_quantize(x, qp) - x)
+        assert (err <= quantization_error_bound(qp) + 1e-12).all()
+
+    @given(st.integers(min_value=2, max_value=8))
+    def test_monotonicity(self, bits):
+        """Property: quantization preserves ordering."""
+        x = np.linspace(-1, 1, 101)
+        qp = symmetric_qparams(1.0, bits)
+        q = quantize(x, qp)
+        assert (np.diff(q) >= 0).all()
+
+    def test_more_bits_less_error(self, rng):
+        x = rng.uniform(-1, 1, 1000)
+        errs = []
+        for bits in (2, 4, 8):
+            qp = symmetric_qparams(1.0, bits)
+            errs.append(np.abs(fake_quantize(x, qp) - x).mean())
+        assert errs[0] > errs[1] > errs[2]

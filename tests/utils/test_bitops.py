@@ -1,0 +1,81 @@
+"""Bit-plane split/merge semantics, including the signed floor convention."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitops import bit_plane, int_range, merge_bits, split_bits
+
+
+class TestIntRange:
+    def test_signed(self):
+        assert int_range(4, True) == (-8, 7)
+        assert int_range(2, True) == (-2, 1)
+        assert int_range(8, True) == (-128, 127)
+
+    def test_unsigned(self):
+        assert int_range(4, False) == (0, 15)
+        assert int_range(2, False) == (0, 3)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            int_range(0, True)
+
+
+class TestSplitBits:
+    def test_unsigned_int4_examples(self):
+        q = np.array([0, 1, 3, 4, 7, 12, 15])
+        high, low = split_bits(q, 2, signed=False)
+        np.testing.assert_array_equal(high, [0, 0, 0, 1, 1, 3, 3])
+        np.testing.assert_array_equal(low, [0, 1, 3, 0, 3, 0, 3])
+
+    def test_signed_int4_examples(self):
+        q = np.array([-8, -5, -1, 0, 3, 7])
+        high, low = split_bits(q, 2, signed=True)
+        # Floor semantics: -5 = (-2)*4 + 3, -1 = (-1)*4 + 3.
+        np.testing.assert_array_equal(high, [-2, -2, -1, 0, 0, 1])
+        np.testing.assert_array_equal(low, [0, 3, 3, 0, 3, 3])
+
+    def test_low_always_nonnegative_signed(self):
+        q = np.arange(-8, 8)
+        _, low = split_bits(q, 2, signed=True)
+        assert (low >= 0).all() and (low < 4).all()
+
+    def test_unsigned_negative_rejected(self):
+        with pytest.raises(ValueError):
+            split_bits(np.array([-1]), 2, signed=False)
+
+    def test_float_input_rejected(self):
+        with pytest.raises(TypeError):
+            split_bits(np.array([1.5]), 2, signed=False)
+
+    @given(st.lists(st.integers(min_value=-8, max_value=7), min_size=1, max_size=64))
+    def test_roundtrip_signed(self, values):
+        q = np.array(values, dtype=np.int64)
+        high, low = split_bits(q, 2, signed=True)
+        np.testing.assert_array_equal(merge_bits(high, low, 2), q)
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=64),
+           st.integers(min_value=1, max_value=7))
+    def test_roundtrip_unsigned_any_split(self, values, low_bits):
+        q = np.array(values, dtype=np.int64)
+        high, low = split_bits(q, low_bits, signed=False)
+        np.testing.assert_array_equal(merge_bits(high, low, low_bits), q)
+        assert (low < (1 << low_bits)).all()
+
+
+class TestBitPlane:
+    def test_planes_of_five(self):
+        q = np.array([5])  # 0b101
+        assert bit_plane(q, 0) == 1
+        assert bit_plane(q, 1) == 0
+        assert bit_plane(q, 2) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit_plane(np.array([-3]), 0)
+
+    def test_reconstruction_from_planes(self):
+        q = np.arange(16)
+        recon = sum(bit_plane(q, p) << p for p in range(4))
+        np.testing.assert_array_equal(recon, q)

@@ -1,0 +1,92 @@
+"""im2col / col2im correctness against a naive reference implementation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.im2col import col2im, conv_output_size, im2col, pad_nchw
+
+
+def naive_conv2d(x, w, stride, padding):
+    """Direct six-loop convolution used as ground truth."""
+    n, c, h, wd = x.shape
+    oc, _, k, _ = w.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (h + 2 * padding - k) // stride + 1
+    ow = (wd + 2 * padding - k) // stride + 1
+    out = np.zeros((n, oc, oh, ow))
+    for ni in range(n):
+        for oi in range(oc):
+            for yi in range(oh):
+                for xi in range(ow):
+                    patch = xp[ni, :, yi * stride : yi * stride + k, xi * stride : xi * stride + k]
+                    out[ni, oi, yi, xi] = (patch * w[oi]).sum()
+    return out
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert conv_output_size(32, 3, 1, 1) == 32
+        assert conv_output_size(32, 3, 2, 1) == 16
+        assert conv_output_size(5, 5, 1, 0) == 1
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestPad:
+    def test_zero_padding_is_noop(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        assert pad_nchw(x, 0) is x
+
+    def test_padding_shape_and_content(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        xp = pad_nchw(x, 2)
+        assert xp.shape == (2, 3, 8, 8)
+        np.testing.assert_array_equal(xp[:, :, 2:-2, 2:-2], x)
+        assert xp[:, :, 0, :].sum() == 0
+
+
+class TestIm2col:
+    @pytest.mark.parametrize("stride,padding,k", [(1, 0, 3), (1, 1, 3), (2, 1, 3), (2, 0, 2), (1, 2, 5)])
+    def test_matches_naive_conv(self, rng, stride, padding, k):
+        x = rng.normal(size=(2, 3, 8, 8))
+        w = rng.normal(size=(4, 3, k, k))
+        cols = im2col(x, k, stride, padding)
+        oh = conv_output_size(8, k, stride, padding)
+        out = (cols @ w.reshape(4, -1).T).reshape(2, oh, oh, 4).transpose(0, 3, 1, 2)
+        np.testing.assert_allclose(out, naive_conv2d(x, w, stride, padding), atol=1e-10)
+
+    def test_row_count(self, rng):
+        x = rng.normal(size=(3, 2, 6, 6))
+        cols = im2col(x, 3, 1, 1)
+        assert cols.shape == (3 * 6 * 6, 2 * 9)
+
+    def test_identity_kernel(self, rng):
+        """1x1 kernel im2col is a channel-last reshape of the input."""
+        x = rng.normal(size=(2, 5, 4, 4))
+        cols = im2col(x, 1, 1, 0)
+        expected = x.transpose(0, 2, 3, 1).reshape(-1, 5)
+        np.testing.assert_array_equal(cols, expected)
+
+
+class TestCol2im:
+    @pytest.mark.parametrize("stride,padding,k", [(1, 0, 3), (1, 1, 3), (2, 1, 3), (2, 0, 2)])
+    def test_adjoint_property(self, rng, stride, padding, k):
+        """col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols = im2col(x, k, stride, padding)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, k, stride, padding)).sum())
+        assert abs(lhs - rhs) < 1e-9
+
+    def test_ones_counts_patch_membership(self):
+        """Folding ones counts how many patches each pixel belongs to."""
+        x_shape = (1, 1, 4, 4)
+        cols = np.ones((9, 4))  # 3x3 output grid of 2x2 patches, stride 1
+        counts = col2im(cols, x_shape, kernel=2, stride=1, padding=0)
+        # Corner pixels appear in 1 patch, center pixels in 4.
+        assert counts[0, 0, 0, 0] == 1
+        assert counts[0, 0, 1, 1] == 4
+        assert counts[0, 0, 0, 1] == 2

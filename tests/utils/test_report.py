@@ -1,0 +1,45 @@
+"""ASCII table/chart rendering."""
+
+import pytest
+
+from repro.utils.report import ascii_bar_chart, ascii_table, format_percent
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.5) == "50.0%"
+        assert format_percent(0.1234, digits=2) == "12.34%"
+
+
+class TestAsciiTable:
+    def test_alignment_and_content(self):
+        out = ascii_table(["a", "long_header"], [[1, 2], ["xx", "yyyy"]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "long_header" in lines[0]
+        assert all(len(l) == len(lines[0]) or "-" in l for l in lines)
+        assert "yyyy" in out
+
+    def test_title(self):
+        out = ascii_table(["h"], [[1]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [[1]])
+
+
+class TestAsciiBarChart:
+    def test_max_bar_fills_width(self):
+        out = ascii_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_zero_values(self):
+        out = ascii_bar_chart(["a"], [0.0])
+        assert "#" not in out
+        assert "0.000" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])

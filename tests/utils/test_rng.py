@@ -1,0 +1,45 @@
+"""RNG helpers."""
+
+import numpy as np
+
+from repro.config import DEFAULT_SEED
+from repro.utils.rng import new_rng, seed_everything
+
+
+class TestNewRng:
+    def test_none_uses_default_seed(self):
+        a = new_rng(None).integers(0, 1000, 10)
+        b = new_rng(DEFAULT_SEED).integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_int_seed_deterministic(self):
+        np.testing.assert_array_equal(
+            new_rng(42).integers(0, 1000, 5), new_rng(42).integers(0, 1000, 5)
+        )
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert new_rng(g) is g
+
+    def test_threading_one_rng_through_consumers(self):
+        """Passing one generator to two consumers advances shared state."""
+        g = new_rng(7)
+        a = new_rng(g).integers(0, 1000, 3)
+        b = new_rng(g).integers(0, 1000, 3)
+        assert not np.array_equal(a, b)
+
+
+class TestSeedEverything:
+    def test_global_numpy_seeded(self):
+        seed_everything(123)
+        a = np.random.rand(3)
+        seed_everything(123)
+        np.testing.assert_array_equal(a, np.random.rand(3))
+
+    def test_stdlib_seeded(self):
+        import random
+
+        seed_everything(99)
+        a = random.random()
+        seed_everything(99)
+        assert a == random.random()
