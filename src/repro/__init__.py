@@ -18,6 +18,9 @@ Package layout
     Table-2 comparison designs (PE allocation, scheduling, memory, energy).
 ``repro.analysis``
     Drivers that regenerate every table and figure of the paper.
+``repro.serve``
+    Production serving: session cache, dynamic micro-batching, engine
+    worker pool, metrics, and a stdlib HTTP front end (``docs/serving.md``).
 
 Quickstart
 ----------
@@ -31,7 +34,7 @@ Quickstart
 ...                           ds.x_train[:64], ds.x_test, ds.y_test)
 """
 
-from repro import accel, analysis, core, data, models, nn, quant, utils
+from repro import accel, analysis, core, data, models, nn, quant, serve, utils
 from repro.config import (
     ACCEL_DRQ,
     ACCEL_INT8,
@@ -52,6 +55,7 @@ __all__ = [
     "models",
     "nn",
     "quant",
+    "serve",
     "utils",
     "ACCEL_DRQ",
     "ACCEL_INT8",

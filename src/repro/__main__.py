@@ -11,6 +11,11 @@ Commands
     Table-2 accelerator models and print normalized time/energy.
 ``quickstart``
     Run the end-to-end quickstart (train, ODQ-retrain, quantize, simulate).
+``serve``
+    Start the batched quantized-inference HTTP server (``repro.serve``).
+``bench-serve``
+    Closed-loop throughput comparison: naive rebuild-per-request vs
+    cached session vs cached session + micro-batching.
 """
 
 from __future__ import annotations
@@ -79,11 +84,90 @@ def _cmd_quickstart(_args) -> int:
     return 1
 
 
-def main(argv: list[str] | None = None) -> int:
+def _serve_config_from_args(args) -> "ServeConfig":  # noqa: F821 — lazy import
+    from repro.serve.config import ServeConfig
+
+    return ServeConfig(
+        model=args.model,
+        scheme=args.scheme,
+        threshold=args.threshold,
+        dataset=args.dataset,
+        train_epochs=args.train_epochs,
+        calib_images=args.calib_images,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+    )
+
+
+def _add_serve_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="lenet", help="model registry name")
+    parser.add_argument("--scheme", default="odq", help="quantization scheme name")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="sensitivity threshold for odq/drq schemes")
+    parser.add_argument("--dataset", default="mnist",
+                        help="synthetic dataset (mnist|cifar10|cifar100)")
+    parser.add_argument("--train-epochs", type=int, default=0,
+                        help="warm-up training epochs at session build (0 = none)")
+    parser.add_argument("--calib-images", type=int, default=64,
+                        help="calibration images per session")
+    parser.add_argument("--max-batch-size", type=int, default=8,
+                        help="micro-batch coalescing cap (images)")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="max time a batch is held open for more requests")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="engine worker threads")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="bind port (0 = OS-assigned)")
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.server import InferenceServer
+
+    server = InferenceServer(_serve_config_from_args(args), verbose=args.verbose)
+    server.start()
+    print(f"repro.serve listening on {server.url}")
+    print(f"session: {server.session.describe()}")
+    print("endpoints: POST /predict · GET /healthz /metrics /stats  (Ctrl-C stops)")
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("\nshutting down …")
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    from repro.serve.bench import run_serve_benchmark
+
+    result = run_serve_benchmark(
+        _serve_config_from_args(args),
+        requests=args.requests,
+        naive_requests=args.naive_requests,
+    )
+    print(result.render())
+    speedup = result.speedup("batched")
+    print(f"\ncached+batched vs naive: {speedup:.1f}x")
+    if args.out:
+        import pathlib
+
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(result.render() + "\n")
+        print(f"[written to {path}]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI schema (exposed for the dispatch-table tests)."""
     parser = argparse.ArgumentParser(
         prog="repro", description="ODQ (ICPP 2023) reproduction toolkit"
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command")
     sub.add_parser("info", help="package and experiment-scale info")
     sub.add_parser("table1", help="print Table 1 (PE allocation frontier)")
     sub.add_parser("table2", help="print Table 2 (accelerator configs)")
@@ -91,15 +175,53 @@ def main(argv: list[str] | None = None) -> int:
     p_sim.add_argument("dump", help="path to a .npz mask dump")
     sub.add_parser("quickstart", help="run the end-to-end quickstart example")
 
+    p_serve = sub.add_parser("serve", help="start the batched inference HTTP server")
+    _add_serve_options(p_serve)
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log each HTTP request")
+
+    p_bench = sub.add_parser(
+        "bench-serve", help="throughput: naive vs cached vs micro-batched"
+    )
+    _add_serve_options(p_bench)
+    p_bench.add_argument("--requests", type=int, default=64,
+                         help="requests for the cached/batched paths")
+    p_bench.add_argument("--naive-requests", type=int, default=4,
+                         help="requests for the (slow) naive path")
+    p_bench.add_argument("--out", default=None,
+                         help="also write the table to this file")
+    return parser
+
+
+#: Command → handler dispatch table (tested in tests/test_cli.py).
+HANDLERS = {
+    "info": _cmd_info,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "simulate": _cmd_simulate,
+    "quickstart": _cmd_quickstart,
+    "serve": _cmd_serve,
+    "bench-serve": _cmd_bench_serve,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
-    handlers = {
-        "info": _cmd_info,
-        "table1": _cmd_table1,
-        "table2": _cmd_table2,
-        "simulate": _cmd_simulate,
-        "quickstart": _cmd_quickstart,
-    }
-    return handlers[args.command](args)
+    if args.command is None:
+        # No command: print usage and exit 2 (matching argparse's own
+        # behaviour for unknown commands) instead of tracebacking.
+        parser.print_usage(sys.stderr)
+        print(f"{parser.prog}: error: a command is required "
+              f"(one of: {', '.join(HANDLERS)})", file=sys.stderr)
+        return 2
+    handler = HANDLERS.get(args.command)
+    if handler is None:  # defensive: subparser without a handler entry
+        parser.print_usage(sys.stderr)
+        print(f"{parser.prog}: error: unhandled command {args.command!r}",
+              file=sys.stderr)
+        return 2
+    return handler(args)
 
 
 if __name__ == "__main__":

@@ -20,6 +20,8 @@ from repro.core.odq_qat import (
 from repro.core.drq import DRQConvExecutor, region_mean_magnitude, upsample_mask
 from repro.core.schemes import (
     Scheme,
+    available_schemes,
+    build_scheme,
     fp32_scheme,
     static_scheme,
     drq_scheme,
@@ -67,6 +69,8 @@ __all__ = [
     "region_mean_magnitude",
     "upsample_mask",
     "Scheme",
+    "available_schemes",
+    "build_scheme",
     "fp32_scheme",
     "static_scheme",
     "drq_scheme",

@@ -13,6 +13,8 @@ The engine is the glue reproducing the paper's methodology end-to-end:
 
 from __future__ import annotations
 
+import copy
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -48,18 +50,79 @@ class QuantizedInferenceEngine:
     matching the paper's focus ("our focus is on inference time, with a
     particular emphasis on the convolutional layers"); BN, pooling and the
     classifier head run in floating point.
+
+    Reuse & threading
+    -----------------
+    One engine is long-lived and reusable: :meth:`calibrate` once, then
+    call :meth:`infer` any number of times (``repro.serve`` keeps engines
+    in a session cache and streams batches through them).  Mode switching
+    (``calibrate`` ↔ ``run``) and inference are serialized by an internal
+    lock, so a calibration can never interleave with a concurrent
+    ``infer``.  The engine is *thread-confinable*, not thread-parallel:
+    for N concurrent workers use :meth:`clone` to give each worker its own
+    engine (sharing nothing mutable), which is what the serving worker
+    pool does.
     """
+
+    #: Valid engine modes (see :attr:`mode`).
+    MODES = ("calibrate", "run")
 
     def __init__(self, model: Module, scheme: Scheme, skip_first_conv: bool = False):
         self.model = model
         self.scheme = scheme
-        self.mode = "calibrate"
+        self._mode = "calibrate"
+        self._lock = threading.RLock()
         #: When true, each conv's latest input batch is stored in
         #: ``record.extra["last_input"]`` (used by the motivation study).
         self.capture_inputs = False
         self.executors: "OrderedDict[str, ConvExecutor]" = OrderedDict()
         self._originals: list[tuple[Module, str, int | None, Conv2d]] = []
         self._install(skip_first_conv)
+
+    # -- mode handling -------------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """Current phase: ``"calibrate"`` (observing FP ranges) or ``"run"``."""
+        return self._mode
+
+    @mode.setter
+    def mode(self, value: str) -> None:
+        if value not in self.MODES:
+            raise ValueError(f"unknown engine mode {value!r}; expected one of {self.MODES}")
+        with self._lock:
+            self._mode = value
+
+    @property
+    def calibrated(self) -> bool:
+        """True once every executor has frozen quantization parameters."""
+        return bool(self.executors) and all(ex.frozen for ex in self.executors.values())
+
+    # -- cloning -------------------------------------------------------------------
+
+    def __deepcopy__(self, memo: dict) -> "QuantizedInferenceEngine":
+        # Locks are not deep-copyable; everything else (model, executors,
+        # frozen qparams, records) is plain data.  The memo ensures the
+        # clone's InstrumentedConvs point at the clone, not the original.
+        cls = self.__class__
+        clone = cls.__new__(cls)
+        memo[id(self)] = clone
+        for key, value in self.__dict__.items():
+            if key == "_lock":
+                setattr(clone, key, threading.RLock())
+            else:
+                setattr(clone, key, copy.deepcopy(value, memo))
+        return clone
+
+    def clone(self) -> "QuantizedInferenceEngine":
+        """An independent engine (own model/executors/records/lock).
+
+        Calibration state is carried over, so a calibrated engine clones
+        into a ready-to-``infer`` engine — this is how the serving worker
+        pool confines one engine per worker thread without recalibrating.
+        """
+        with self._lock:
+            return copy.deepcopy(self)
 
     # -- installation -------------------------------------------------------------
 
@@ -98,22 +161,50 @@ class QuantizedInferenceEngine:
     # -- calibration ---------------------------------------------------------------
 
     def calibrate(self, x: np.ndarray, batch_size: int = 128) -> None:
-        """Run FP forward passes to collect ranges, then freeze qparams."""
-        self.mode = "calibrate"
-        self.model.eval()
-        for start in range(0, len(x), batch_size):
-            self.model(Tensor(x[start : start + batch_size]))
-        for executor in self.executors.values():
-            executor.freeze()
-        self.mode = "run"
+        """Run FP forward passes to collect ranges, then freeze qparams.
+
+        Safe to call again later (recalibration): observers accumulate the
+        new ranges and ``freeze`` recomputes quantization parameters.  The
+        engine only transitions to ``run`` mode if calibration completes —
+        a failure leaves it in ``calibrate`` mode with ``infer`` refusing
+        to serve stale state.
+        """
+        with self._lock:
+            self.mode = "calibrate"
+            self.model.eval()
+            for start in range(0, len(x), batch_size):
+                self.model(Tensor(x[start : start + batch_size]))
+            for executor in self.executors.values():
+                executor.freeze()
+            self.mode = "run"
 
     # -- inference -------------------------------------------------------------------
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Quantized inference on one batch (explicit serving entry point).
+
+        ``x`` is an NCHW float array; returns the logits array.  Requires
+        a completed :meth:`calibrate`.  Serialized with mode switches via
+        the engine lock, so a concurrent recalibration can never observe a
+        half-switched engine.
+        """
+        x = np.asarray(x)
+        if x.ndim != 4:
+            raise ValueError(f"expected NCHW batch (4 dims), got shape {x.shape}")
+        with self._lock:
+            if self.mode != "run":
+                raise RuntimeError("engine not calibrated; call calibrate() first")
+            self.model.eval()
+            return self.model(Tensor(x)).data
+
     def forward(self, x: np.ndarray) -> np.ndarray:
-        if self.mode != "run":
-            raise RuntimeError("engine not calibrated; call calibrate() first")
-        self.model.eval()
-        return self.model(Tensor(x)).data
+        """Back-compat alias of :meth:`infer` (without the ndim check)."""
+        x = np.asarray(x)
+        with self._lock:
+            if self.mode != "run":
+                raise RuntimeError("engine not calibrated; call calibrate() first")
+            self.model.eval()
+            return self.model(Tensor(x)).data
 
     def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 128) -> float:
         """Top-1 accuracy under the quantization scheme."""
@@ -132,8 +223,15 @@ class QuantizedInferenceEngine:
         )
 
     def reset_records(self) -> None:
-        for ex in self.executors.values():
-            ex.record = LayerRecord(info=ex.info)
+        with self._lock:
+            for ex in self.executors.values():
+                ex.record = LayerRecord(info=ex.info)
+
+    def per_layer_sensitive_fraction(self) -> "OrderedDict[str, float]":
+        """Output-sensitive mask density per layer (serving ``/metrics``)."""
+        return OrderedDict(
+            (name, rec.sensitive_fraction) for name, rec in self.records.items()
+        )
 
     def total_macs(self) -> dict[str, int]:
         """Aggregate MAC counts by precision class across all layers."""

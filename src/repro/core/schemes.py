@@ -129,6 +129,47 @@ def odq_scheme(
     )
 
 
+#: Named scheme builders for CLI / serving lookup.  Each entry maps a
+#: lowercase registry name to ``(threshold) -> Scheme``; builders that do
+#: not use a threshold simply ignore it.
+_NAMED_SCHEMES: dict[str, Callable[[float], Scheme]] = {
+    "fp32": lambda _t: fp32_scheme(),
+    "int16": lambda _t: static_scheme(16),
+    "int8": lambda _t: static_scheme(8),
+    "int4": lambda _t: static_scheme(4),
+    "drq84": lambda t: drq_scheme(8, 4, threshold=t),
+    "drq42": lambda t: drq_scheme(4, 2, threshold=t),
+    "odq": odq_scheme,
+}
+
+#: Threshold used when a thresholded scheme is requested without one
+#: (VGG-16's Table-3 value; a sensible middle of the published range).
+DEFAULT_SERVE_THRESHOLD: float = 0.3
+
+
+def available_schemes() -> list[str]:
+    """Registry names accepted by :func:`build_scheme` (CLI ``--scheme``)."""
+    return sorted(_NAMED_SCHEMES)
+
+
+def build_scheme(name: str, threshold: float | None = None) -> Scheme:
+    """Build a scheme from its registry name (``python -m repro serve``).
+
+    ``threshold`` applies to the thresholded schemes (``odq``, ``drq*``);
+    when omitted, :data:`DEFAULT_SERVE_THRESHOLD` is used.  Unknown names
+    raise ``KeyError`` listing the registry.
+    """
+    key = name.lower().replace("-", "").replace("_", "")
+    try:
+        factory = _NAMED_SCHEMES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; available: {available_schemes()}"
+        ) from None
+    theta = DEFAULT_SERVE_THRESHOLD if threshold is None else threshold
+    return factory(theta)
+
+
 def paper_schemes(odq_threshold: float) -> dict[str, Scheme]:
     """The comparison set of Fig. 18/19/21, keyed by display name."""
     return {
@@ -147,4 +188,7 @@ __all__ = [
     "drq_scheme",
     "odq_scheme",
     "paper_schemes",
+    "available_schemes",
+    "build_scheme",
+    "DEFAULT_SERVE_THRESHOLD",
 ]

@@ -42,6 +42,8 @@ def build_model(
     section 2 for why scaled instances preserve the evaluation's shape.
     """
     name = name.lower()
+    if name == "lenet":  # common shorthand (the serve CLI accepts both)
+        name = "lenet5"
     if name == "lenet5":
         return LeNet5(num_classes, in_channels, image_size, rng)
     try:

@@ -1,0 +1,84 @@
+"""Serving configuration.
+
+One dataclass gathers every tuning knob of the serving stack (session
+build, micro-batching policy, worker pool size, HTTP front end) so the
+CLI, tests, and benchmarks construct servers from the same vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import DEFAULT_SEED
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs for the ``repro.serve`` stack.
+
+    Session
+    -------
+    model:
+        Model registry name (``lenet``, ``resnet20``, ``vgg16`` …).
+    scheme:
+        Scheme registry name (``odq``, ``int8``, ``drq84`` …; see
+        :func:`repro.core.schemes.available_schemes`).
+    threshold:
+        Sensitivity threshold for thresholded schemes; ``None`` picks
+        :data:`repro.core.schemes.DEFAULT_SERVE_THRESHOLD`.
+    dataset:
+        Synthetic dataset used for (optional) training and calibration.
+    train_epochs:
+        Epochs of warm-up training at session build.  ``0`` skips
+        training entirely (random-init weights) — the right choice for
+        latency/throughput tests where accuracy is irrelevant.
+    calib_images:
+        Number of calibration images sampled from the dataset.
+
+    Batching
+    --------
+    max_batch_size:
+        Upper bound on coalesced micro-batch size.
+    max_wait_ms:
+        How long the batcher holds an open batch waiting for more
+        requests before dispatching it anyway.
+
+    Workers / HTTP
+    --------------
+    workers:
+        Engine worker threads; each confines its own engine clone.
+    host / port:
+        Bind address.  ``port=0`` asks the OS for a free port (tests).
+    """
+
+    model: str = "lenet"
+    scheme: str = "odq"
+    threshold: float | None = None
+    dataset: str = "mnist"
+    train_epochs: int = 0
+    calib_images: int = 64
+    seed: int = DEFAULT_SEED
+
+    max_batch_size: int = 8
+    max_wait_ms: float = 2.0
+
+    workers: int = 2
+    host: str = "127.0.0.1"
+    port: int = 8321
+
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.train_epochs < 0:
+            raise ValueError("train_epochs must be >= 0")
+        if self.calib_images < 1:
+            raise ValueError("calib_images must be >= 1")
+
+
+__all__ = ["ServeConfig"]

@@ -1,0 +1,149 @@
+"""Dependency-free HTTP front end (stdlib ``http.server``).
+
+JSON-over-POST inference plus operational endpoints:
+
+=============  ======  ====================================================
+``/predict``   POST    ``{"inputs": [...]}`` → ``{"predictions": [...]}``
+``/healthz``   GET     liveness + session summary
+``/metrics``   GET     JSON metrics snapshot (counters/gauges/histograms)
+``/stats``     GET     plain-text ASCII tables (metrics + worker stats)
+=============  ======  ====================================================
+
+``/predict`` accepts a single image (``C×H×W`` nested lists) under
+``"input"`` or one-or-more images under ``"inputs"`` (``N×C×H×W``).  Each
+request is submitted to the micro-batcher and the handler thread blocks
+on its future — ``ThreadingHTTPServer`` gives us one thread per in-flight
+request, which is exactly the producer model the batcher expects.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.server import InferenceServer
+
+#: Seconds a /predict handler waits on its future before giving up.
+PREDICT_TIMEOUT_SECONDS = 60.0
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying a reference to the serving app."""
+
+    daemon_threads = True  # in-flight handlers must not block shutdown
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], app: "InferenceServer"):
+        super().__init__(address, ServeRequestHandler)
+        self.app = app
+
+
+class ServeRequestHandler(BaseHTTPRequestHandler):
+    server: ServingHTTPServer  # narrowed type
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, fmt: str, *args) -> None:  # noqa: D102 — quiet by default
+        if self.server.app.verbose:
+            super().log_message(fmt, *args)
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, text: str, status: int = 200) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- GET ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib API
+        app = self.server.app
+        if self.path == "/healthz":
+            self._send_json(app.health())
+        elif self.path == "/metrics":
+            self._send_json(app.metrics.as_dict())
+        elif self.path == "/stats":
+            self._send_text(app.render_stats())
+        else:
+            self._send_json({"error": f"no such endpoint {self.path!r}"}, 404)
+
+    # -- POST ---------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib API
+        if self.path != "/predict":
+            self._send_json({"error": f"no such endpoint {self.path!r}"}, 404)
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json({"error": f"bad JSON body: {exc}"}, 400)
+            return
+        try:
+            response = self._predict(payload)
+        except _ClientError as exc:
+            self._send_json({"error": str(exc)}, 400)
+        except Exception as exc:  # noqa: BLE001 — surfaced as HTTP 500
+            self._send_json({"error": f"{type(exc).__name__}: {exc}"}, 500)
+        else:
+            self._send_json(response)
+
+    def _predict(self, payload: dict) -> dict:
+        app = self.server.app
+        if not isinstance(payload, dict):
+            raise _ClientError("request body must be a JSON object")
+        raw = payload.get("inputs", payload.get("input"))
+        if raw is None:
+            raise _ClientError('missing "inputs" (N×C×H×W) or "input" (C×H×W)')
+        try:
+            arr = np.asarray(raw, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise _ClientError(f"inputs are not a numeric array: {exc}") from None
+        if arr.ndim == 3:
+            arr = arr[None]
+        expected = app.session.input_shape
+        if arr.ndim != 4 or arr.shape[1:] != expected:
+            raise _ClientError(
+                f"expected images of shape {tuple(expected)} "
+                f"(got array of shape {arr.shape})"
+            )
+
+        t0 = time.perf_counter()
+        future = app.batcher.submit(arr)
+        logits = future.result(timeout=PREDICT_TIMEOUT_SECONDS)
+        elapsed_ms = (time.perf_counter() - t0) * 1000.0
+        app.metrics.histogram("e2e_ms", "end-to-end /predict latency").observe(
+            elapsed_ms
+        )
+
+        response = {
+            "predictions": [int(i) for i in logits.argmax(axis=1)],
+            "batch": int(arr.shape[0]),
+            "latency_ms": round(elapsed_ms, 3),
+        }
+        if payload.get("return_logits"):
+            response["logits"] = logits.tolist()
+        return response
+
+
+class _ClientError(ValueError):
+    """A 400-class request problem."""
+
+
+__all__ = ["ServingHTTPServer", "ServeRequestHandler", "PREDICT_TIMEOUT_SECONDS"]

@@ -1,0 +1,217 @@
+"""Serving metrics: thread-safe counters, gauges, and histograms.
+
+A tiny dependency-free registry in the spirit of Prometheus client
+libraries.  Histograms keep a bounded reservoir of recent observations so
+percentiles (p50/p95/p99) stay cheap and memory-bounded under sustained
+traffic; counts/sums are exact over the full lifetime.
+
+The registry renders two ways:
+
+* :meth:`MetricsRegistry.as_dict` — JSON-safe dict for the ``/metrics``
+  HTTP endpoint and programmatic scraping;
+* :meth:`MetricsRegistry.render` — ASCII tables (via
+  :func:`repro.utils.report.ascii_table`) for ``/stats`` and the CLI.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+
+from repro.utils.report import ascii_table
+
+#: Default reservoir size for histogram percentile estimation.
+DEFAULT_RESERVOIR = 8192
+
+
+class Counter:
+    """Monotonic counter."""
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-write-wins scalar (e.g. per-layer mask density)."""
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Observation stream with exact count/sum and reservoir percentiles."""
+
+    def __init__(self, name: str, help: str = "", reservoir: int = DEFAULT_RESERVOIR):
+        self.name = name
+        self.help = help
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._values: deque[float] = deque(maxlen=reservoir)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += v
+            self._min = min(self._min, v)
+            self._max = max(self._max, v)
+            self._values.append(v)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile over the reservoir (p in [0,100])."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            data = sorted(self._values)
+        if not data:
+            return 0.0
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100.0) * (len(data) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(data) - 1)
+        frac = rank - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def summary(self) -> dict:
+        with self._lock:
+            count, total = self._count, self._sum
+            vmin = self._min if self._count else 0.0
+            vmax = self._max if self._count else 0.0
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": vmin,
+            "max": vmax,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named collection of counters/gauges/histograms.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create, so call sites
+    never race on registration; creation is idempotent per name.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: "OrderedDict[str, Counter]" = OrderedDict()
+        self._gauges: "OrderedDict[str, Gauge]" = OrderedDict()
+        self._histograms: "OrderedDict[str, Histogram]" = OrderedDict()
+
+    # -- get-or-create ------------------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name, help)
+            return self._counters[name]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name, help)
+            return self._gauges[name]
+
+    def histogram(
+        self, name: str, help: str = "", reservoir: int = DEFAULT_RESERVOIR
+    ) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name, help, reservoir)
+            return self._histograms[name]
+
+    # -- export -------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot: ``{counters:{}, gauges:{}, histograms:{}}``."""
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        return {
+            "counters": {c.name: c.value for c in counters},
+            "gauges": {g.name: g.value for g in gauges},
+            "histograms": {h.name: h.summary() for h in histograms},
+        }
+
+    def render(self, title: str = "serving metrics") -> str:
+        """ASCII tables of the whole registry (the ``/stats`` body)."""
+        snap = self.as_dict()
+        parts = []
+        scalar_rows = [[k, f"{v:,}"] for k, v in snap["counters"].items()]
+        scalar_rows += [[k, f"{v:.4f}"] for k, v in snap["gauges"].items()]
+        if scalar_rows:
+            parts.append(ascii_table(["metric", "value"], scalar_rows, title=title))
+        hist_rows = [
+            [
+                name,
+                f"{s['count']:,}",
+                f"{s['mean']:.3f}",
+                f"{s['p50']:.3f}",
+                f"{s['p95']:.3f}",
+                f"{s['p99']:.3f}",
+                f"{s['max']:.3f}",
+            ]
+            for name, s in snap["histograms"].items()
+        ]
+        if hist_rows:
+            parts.append(
+                ascii_table(
+                    ["histogram", "count", "mean", "p50", "p95", "p99", "max"],
+                    hist_rows,
+                )
+            )
+        return "\n\n".join(parts) if parts else "(no metrics recorded)"
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_RESERVOIR",
+]

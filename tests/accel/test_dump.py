@@ -79,8 +79,10 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "ODQ" in out and "norm. time" in out
 
-    def test_requires_command(self):
+    def test_requires_command(self, capsys):
         from repro.__main__ import main
 
-        with pytest.raises(SystemExit):
-            main([])
+        # No command: usage on stderr and return status 2 (no traceback,
+        # no SystemExit) — `python -m repro` turns this into exit code 2.
+        assert main([]) == 2
+        assert "usage:" in capsys.readouterr().err

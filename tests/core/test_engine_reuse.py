@@ -1,0 +1,167 @@
+"""Engine reuse regression tests (the serving contract).
+
+A long-lived :class:`QuantizedInferenceEngine` must be safe to call
+repeatedly: identical inputs give identical outputs, statistics never
+double-count, mode switching is explicit and validated, and clones are
+fully independent (the worker-pool confinement model).
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import QuantizedInferenceEngine
+from repro.core.schemes import (
+    available_schemes,
+    build_scheme,
+    odq_scheme,
+    static_scheme,
+)
+from repro.models import LeNet5
+
+
+@pytest.fixture
+def lenet(rng):
+    model = LeNet5(num_classes=10, in_channels=1, image_size=16, rng=rng)
+    model.eval()
+    return model
+
+
+@pytest.fixture
+def calib(rng):
+    return rng.random((24, 1, 16, 16))
+
+
+@pytest.fixture
+def batch(rng):
+    return rng.random((4, 1, 16, 16))
+
+
+@pytest.fixture
+def engine(lenet, calib):
+    eng = QuantizedInferenceEngine(lenet, odq_scheme(0.3))
+    eng.calibrate(calib)
+    return eng
+
+
+class TestRepeatedInference:
+    def test_same_input_same_output(self, engine, batch):
+        first = engine.infer(batch)
+        second = engine.infer(batch)
+        np.testing.assert_array_equal(first, second)
+
+    def test_records_accumulate_exactly_once_per_call(self, engine, batch):
+        engine.infer(batch)
+        after_one = {
+            n: (r.images, r.outputs_total, r.sensitive_total)
+            for n, r in engine.records.items()
+        }
+        engine.infer(batch)
+        after_two = {
+            n: (r.images, r.outputs_total, r.sensitive_total)
+            for n, r in engine.records.items()
+        }
+        # exactly linear growth — no double counting, no dropped counts
+        for name in after_one:
+            assert after_two[name] == tuple(2 * v for v in after_one[name]), name
+
+    def test_reset_records_restores_fresh_statistics(self, engine, batch):
+        engine.infer(batch)
+        baseline = {
+            n: (r.images, r.outputs_total, r.sensitive_total, dict(r.macs))
+            for n, r in engine.records.items()
+        }
+        engine.reset_records()
+        assert all(r.images == 0 for r in engine.records.values())
+        engine.infer(batch)
+        again = {
+            n: (r.images, r.outputs_total, r.sensitive_total, dict(r.macs))
+            for n, r in engine.records.items()
+        }
+        assert again == baseline
+
+    def test_infer_requires_nchw(self, engine):
+        with pytest.raises(ValueError):
+            engine.infer(np.zeros((1, 16, 16)))
+
+
+class TestModeSwitching:
+    def test_calibrate_transitions_to_run(self, lenet, calib):
+        eng = QuantizedInferenceEngine(lenet, static_scheme(8))
+        assert eng.mode == "calibrate"
+        assert not eng.calibrated
+        eng.calibrate(calib)
+        assert eng.mode == "run"
+        assert eng.calibrated
+
+    def test_infer_before_calibrate_raises(self, lenet, batch):
+        eng = QuantizedInferenceEngine(lenet, static_scheme(8))
+        with pytest.raises(RuntimeError, match="not calibrated"):
+            eng.infer(batch)
+
+    def test_invalid_mode_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.mode = "turbo"
+        assert engine.mode == "run"
+
+    def test_recalibration_round_trip(self, engine, calib, batch):
+        """calibrate → run → calibrate → run keeps the engine serviceable."""
+        out_before = engine.infer(batch)
+        engine.calibrate(calib)  # recalibrate on the same data
+        assert engine.mode == "run"
+        out_after = engine.infer(batch)
+        assert out_after.shape == out_before.shape
+        assert np.isfinite(out_after).all()
+
+    def test_manual_mode_flip_blocks_inference(self, engine, batch):
+        engine.mode = "calibrate"
+        with pytest.raises(RuntimeError):
+            engine.infer(batch)
+        engine.mode = "run"
+        assert engine.infer(batch).shape[0] == batch.shape[0]
+
+
+class TestCloning:
+    def test_clone_preserves_calibration_and_outputs(self, engine, batch):
+        clone = engine.clone()
+        assert clone.calibrated and clone.mode == "run"
+        np.testing.assert_array_equal(clone.infer(batch), engine.infer(batch))
+
+    def test_clone_records_are_confined(self, engine, batch):
+        clone = engine.clone()
+        clone.reset_records()
+        engine.reset_records()
+        clone.infer(batch)
+        assert all(r.images == 0 for r in engine.records.values())
+        assert all(r.images == batch.shape[0] for r in clone.records.values())
+
+    def test_clone_model_is_distinct(self, engine):
+        clone = engine.clone()
+        assert clone.model is not engine.model
+        for (_, a), (_, b) in zip(engine.executors.items(), clone.executors.items()):
+            assert a is not b
+
+    def test_deepcopy_equals_clone(self, engine, batch):
+        twin = copy.deepcopy(engine)
+        np.testing.assert_array_equal(twin.infer(batch), engine.infer(batch))
+
+
+class TestSchemeRegistry:
+    def test_registry_contains_paper_schemes(self):
+        names = available_schemes()
+        for expected in ("fp32", "int8", "int16", "drq84", "drq42", "odq"):
+            assert expected in names
+
+    @pytest.mark.parametrize("name", ["fp32", "int8", "odq", "drq42", "DRQ-42", "ODQ"])
+    def test_build_scheme_resolves_spellings(self, name):
+        scheme = build_scheme(name, threshold=0.25)
+        assert scheme.name
+
+    def test_unknown_scheme_lists_registry(self):
+        with pytest.raises(KeyError, match="available"):
+            build_scheme("int128")
+
+    def test_threshold_reaches_odq(self):
+        scheme = build_scheme("odq", threshold=0.125)
+        assert scheme.params["threshold"] == 0.125

@@ -1,0 +1,96 @@
+"""Metrics registry: counters, gauges, histogram percentiles, rendering."""
+
+import threading
+
+import pytest
+
+from repro.serve.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_thread_safety(self):
+        c = Counter("x")
+
+        def spin():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestHistogram:
+    def test_summary_of_known_stream(self):
+        h = Histogram("lat")
+        for v in range(1, 101):  # 1..100
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["min"] == 1 and s["max"] == 100
+        assert s["mean"] == pytest.approx(50.5)
+        assert s["p50"] == pytest.approx(50.5)
+        assert s["p95"] == pytest.approx(95.05)
+        assert s["p99"] == pytest.approx(99.01)
+
+    def test_empty_histogram_is_all_zero(self):
+        s = Histogram("lat").summary()
+        assert s["count"] == 0
+        assert s["p50"] == 0.0 and s["max"] == 0.0
+
+    def test_percentile_bounds(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_reservoir_bound(self):
+        h = Histogram("lat", reservoir=16)
+        for v in range(1000):
+            h.observe(v)
+        # exact count survives, reservoir holds only the freshest values
+        assert h.count == 1000
+        assert h.percentile(0) >= 1000 - 16
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+        assert m.histogram("h") is m.histogram("h")
+        assert m.gauge("g") is m.gauge("g")
+
+    def test_as_dict_shape(self):
+        m = MetricsRegistry()
+        m.counter("reqs").inc(3)
+        m.gauge("ratio").set(0.25)
+        m.histogram("ms").observe(1.5)
+        snap = m.as_dict()
+        assert snap["counters"] == {"reqs": 3}
+        assert snap["gauges"] == {"ratio": 0.25}
+        assert snap["histograms"]["ms"]["count"] == 1
+
+    def test_render_contains_every_metric(self):
+        m = MetricsRegistry()
+        m.counter("requests_total").inc(7)
+        m.gauge("sensitive_ratio:C1").set(0.5)
+        m.histogram("batch_size").observe(4)
+        text = m.render()
+        for needle in ("requests_total", "sensitive_ratio:C1", "batch_size", "p95"):
+            assert needle in text
+
+    def test_render_empty(self):
+        assert "no metrics" in MetricsRegistry().render()

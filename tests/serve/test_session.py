@@ -1,0 +1,116 @@
+"""Session building, the (model, scheme, threshold) cache, engine cloning."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.config import ServeConfig
+from repro.serve.session import ModelSession, SessionKey, SessionManager
+
+
+class TestSessionKey:
+    def test_defaults_threshold_when_unset(self):
+        key = SessionKey.from_config(ServeConfig(model="LeNet", threshold=None))
+        assert key.model == "lenet"
+        assert key.threshold > 0
+
+    def test_distinct_thresholds_distinct_keys(self):
+        a = SessionKey.from_config(ServeConfig(threshold=0.1))
+        b = SessionKey.from_config(ServeConfig(threshold=0.2))
+        assert a != b
+
+
+class TestModelSession:
+    def test_session_is_ready_to_infer(self, session):
+        assert session.engine.calibrated
+        assert session.engine.mode == "run"
+        out = session.engine.infer(session.sample_inputs[:2])
+        assert out.shape == (2, session.num_classes)
+
+    def test_freeze_prepacked_every_quantized_layer(self, session):
+        assert session.stats.packed_layers == len(session.engine.executors)
+        # ODQ executors carry the pre-packed W_HBS bit plane after freeze.
+        for ex in session.engine.executors.values():
+            assert ex._qw_high is not None
+
+    def test_describe_is_json_safe(self, session):
+        import json
+
+        desc = session.describe()
+        json.dumps(desc)  # raises if not serializable
+        assert desc["model"] == "lenet"
+        assert desc["scheme"] == "odq"
+        assert tuple(desc["input_shape"]) == session.input_shape
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            ModelSession(ServeConfig(dataset="imagenet"))
+
+
+class TestEngineCloning:
+    def test_clone_is_independent_but_equivalent(self, session):
+        clone = session.clone_engine()
+        assert clone is not session.engine
+        assert clone.calibrated
+        x = session.sample_inputs[:2]
+        np.testing.assert_allclose(clone.infer(x), session.engine.infer(x))
+        # records are confined: running the clone does not touch the original
+        clone.reset_records()
+        before = {n: r.images for n, r in session.engine.records.items()}
+        clone.infer(x)
+        after = {n: r.images for n, r in session.engine.records.items()}
+        assert before == after
+
+    def test_engines_for_workers_counts(self, session):
+        engines = session.engines_for_workers(3)
+        assert len(engines) == 3
+        assert engines[0] is session.engine
+        assert len({id(e) for e in engines}) == 3
+
+    def test_engines_for_workers_rejects_zero(self, session):
+        with pytest.raises(ValueError):
+            session.engines_for_workers(0)
+
+
+class TestSessionManager:
+    def test_same_key_hits_cache(self, serve_config):
+        mgr = SessionManager()
+        a = mgr.get_or_create(serve_config)
+        b = mgr.get_or_create(serve_config)
+        assert a is b
+        assert mgr.builds == 1 and mgr.hits == 1
+        assert len(mgr) == 1
+
+    def test_different_threshold_builds_new_session(self, serve_config):
+        mgr = SessionManager()
+        a = mgr.get_or_create(serve_config)
+        from dataclasses import replace
+
+        b = mgr.get_or_create(replace(serve_config, threshold=0.9))
+        assert a is not b
+        assert mgr.builds == 2
+        assert len(mgr) == 2
+
+    def test_concurrent_first_requests_build_once(self, serve_config):
+        mgr = SessionManager()
+        results = []
+        barrier = threading.Barrier(4)
+
+        def hit():
+            barrier.wait()
+            results.append(mgr.get_or_create(serve_config))
+
+        threads = [threading.Thread(target=hit) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert mgr.builds == 1
+        assert len({id(s) for s in results}) == 1
+
+    def test_clear(self, serve_config):
+        mgr = SessionManager()
+        mgr.get_or_create(serve_config)
+        mgr.clear()
+        assert len(mgr) == 0

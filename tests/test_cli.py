@@ -1,0 +1,105 @@
+"""CLI dispatch: usage/exit codes, the dispatch table, and console entry.
+
+Covers the contract that ``python -m repro`` (and the installed ``repro``
+script) prints usage and exits 2 for missing/unknown commands instead of
+tracebacking, and that every registered subcommand has a handler.
+"""
+
+import sys
+
+import pytest
+
+from repro.__main__ import HANDLERS, build_parser, main
+
+
+class TestDispatchTable:
+    def test_every_subcommand_has_a_handler(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if a.__class__.__name__ == "_SubParsersAction"
+        )
+        assert set(sub.choices) == set(HANDLERS)
+
+    def test_serve_commands_registered(self):
+        assert "serve" in HANDLERS
+        assert "bench-serve" in HANDLERS
+
+    def test_handlers_are_callable(self):
+        assert all(callable(h) for h in HANDLERS.values())
+
+
+class TestExitCodes:
+    def test_no_command_prints_usage_and_exits_2(self, capsys):
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "command is required" in err
+
+    def test_unknown_command_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["definitely-not-a-command"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_info_returns_zero(self, capsys):
+        assert main(["info"]) == 0
+        assert "ODQ" in capsys.readouterr().out
+
+    def test_main_returns_int(self):
+        # the [project.scripts] entry point requires an int return
+        assert isinstance(main(["info"]), int)
+
+    def test_module_entry_exits_with_main_result(self):
+        # `python -m repro` wraps main() in sys.exit
+        import repro.__main__ as mod
+
+        assert mod.main.__module__ == "repro.__main__"
+        assert "sys.exit(main())" in open(mod.__file__).read()
+
+
+class TestServeArgs:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.model == "lenet"
+        assert args.scheme == "odq"
+        assert args.workers >= 1
+
+    def test_bench_serve_accepts_tuning_flags(self):
+        args = build_parser().parse_args(
+            ["bench-serve", "--model", "lenet", "--scheme", "int8",
+             "--max-batch-size", "16", "--requests", "8",
+             "--naive-requests", "2", "--workers", "1"]
+        )
+        assert args.max_batch_size == 16
+        assert args.requests == 8
+
+    def test_serve_config_round_trip(self):
+        from repro.__main__ import _serve_config_from_args
+
+        args = build_parser().parse_args(
+            ["serve", "--model", "lenet", "--scheme", "odq",
+             "--threshold", "0.4", "--port", "0", "--max-wait-ms", "1.5"]
+        )
+        cfg = _serve_config_from_args(args)
+        assert cfg.threshold == 0.4
+        assert cfg.port == 0
+        assert cfg.max_wait_ms == 1.5
+
+
+@pytest.mark.parametrize("name", ["lenet", "lenet5"])
+def test_lenet_alias_builds(name):
+    from repro.models.registry import build_model
+
+    model = build_model(name, num_classes=10, in_channels=1, image_size=28)
+    assert model is not None
+
+
+def test_console_script_declared():
+    import pathlib
+
+    pyproject = (
+        pathlib.Path(__file__).resolve().parents[1] / "pyproject.toml"
+    ).read_text()
+    assert '[project.scripts]' in pyproject
+    assert 'repro = "repro.__main__:main"' in pyproject
