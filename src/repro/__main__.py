@@ -9,6 +9,10 @@ Commands
 ``simulate <dump.npz>``
     Run a saved mask dump (see ``repro.accel.dump``) through the four
     Table-2 accelerator models and print normalized time/energy.
+``profile <model> <scheme>``
+    Per-layer, per-phase profile of quantized inference (predict vs
+    full-result time, MACs computed vs skipped); ``--trace-out`` writes
+    a Chrome/JSONL trace.
 ``quickstart``
     Run the end-to-end quickstart (train, ODQ-retrain, quantize, simulate).
 ``serve``
@@ -16,6 +20,12 @@ Commands
 ``bench-serve``
     Closed-loop throughput comparison: naive rebuild-per-request vs
     cached session vs cached session + micro-batching.
+
+Global observability flags (valid before or after the command name):
+``--trace`` (enable the span tracer), ``--trace-out PATH`` (write the
+collected trace; format from ``--trace-format``), ``--log-level`` and
+``--log-json`` (structured logging).  Environment equivalents:
+``REPRO_TRACE``, ``REPRO_LOG_LEVEL``, ``REPRO_LOG_JSON``.
 """
 
 from __future__ import annotations
@@ -23,29 +33,33 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.obs import log as obslog
+from repro.obs import trace
+from repro.obs.log import console
+
 
 def _cmd_info(_args) -> int:
     import repro
     from repro.analysis.workbench import scale_from_env
     from repro.config import PAPER_THRESHOLDS
 
-    print(f"repro {repro.__version__} — ODQ (ICPP 2023) reproduction")
-    print(f"experiment scale: {scale_from_env()}")
-    print(f"paper thresholds (Table 3): {PAPER_THRESHOLDS}")
+    console(f"repro {repro.__version__} — ODQ (ICPP 2023) reproduction")
+    console(f"experiment scale: {scale_from_env()}")
+    console(f"paper thresholds (Table 3): {PAPER_THRESHOLDS}")
     return 0
 
 
 def _cmd_table1(_args) -> int:
     from repro.analysis.performance import render_table1
 
-    print(render_table1())
+    console(render_table1())
     return 0
 
 
 def _cmd_table2(_args) -> int:
     from repro.analysis.performance import render_table2
 
-    print(render_table2())
+    console(render_table2())
     return 0
 
 
@@ -55,7 +69,7 @@ def _cmd_simulate(args) -> int:
     from repro.utils.report import ascii_table
 
     workloads = load_workloads(args.dump)
-    print(f"loaded {len(workloads)} layer workloads from {args.dump}")
+    console(f"loaded {len(workloads)} layer workloads from {args.dump}")
     sims = {name: build_accelerator(name).simulate(workloads)
             for name in ("INT16", "INT8", "DRQ", "ODQ")}
     ref = sims["INT16"]
@@ -68,7 +82,30 @@ def _cmd_simulate(args) -> int:
         ]
         for name, sim in sims.items()
     ]
-    print(ascii_table(["accelerator", "cycles", "norm. time", "norm. energy"], rows))
+    console(ascii_table(["accelerator", "cycles", "norm. time", "norm. energy"], rows))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.profile import profile_inference
+
+    result = profile_inference(
+        model=args.model,
+        scheme=args.scheme,
+        threshold=args.threshold,
+        dataset=args.dataset,
+        images=args.images,
+        batches=args.batches,
+        calib_images=args.calib_images,
+        train_epochs=args.train_epochs,
+    )
+    console(result.render())
+    if args.flame:
+        console("")
+        console(result.report.render_flame())
+    # Stash the spans so the shared --trace-out epilogue exports exactly
+    # this run (the profiler resets the global tracer around its run).
+    args._profile_spans = result.spans
     return 0
 
 
@@ -80,7 +117,7 @@ def _cmd_quickstart(_args) -> int:
     if script.exists():
         runpy.run_path(str(script), run_name="__main__")
         return 0
-    print("examples/quickstart.py not found (installed without the repo checkout)")
+    console("examples/quickstart.py not found (installed without the repo checkout)")
     return 1
 
 
@@ -129,13 +166,13 @@ def _cmd_serve(args) -> int:
 
     server = InferenceServer(_serve_config_from_args(args), verbose=args.verbose)
     server.start()
-    print(f"repro.serve listening on {server.url}")
-    print(f"session: {server.session.describe()}")
-    print("endpoints: POST /predict · GET /healthz /metrics /stats  (Ctrl-C stops)")
+    console(f"repro.serve listening on {server.url}")
+    console(f"session: {server.session.describe()}")
+    console("endpoints: POST /predict · GET /healthz /metrics /stats  (Ctrl-C stops)")
     try:
         server.wait()
     except KeyboardInterrupt:
-        print("\nshutting down …")
+        console("\nshutting down …")
     finally:
         server.shutdown()
     return 0
@@ -149,39 +186,90 @@ def _cmd_bench_serve(args) -> int:
         requests=args.requests,
         naive_requests=args.naive_requests,
     )
-    print(result.render())
+    console(result.render())
     speedup = result.speedup("batched")
-    print(f"\ncached+batched vs naive: {speedup:.1f}x")
+    console(f"\ncached+batched vs naive: {speedup:.1f}x")
     if args.out:
         import pathlib
 
         path = pathlib.Path(args.out)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(result.render() + "\n")
-        print(f"[written to {path}]")
+        console(f"[written to {path}]")
     return 0
+
+
+def _global_options() -> argparse.ArgumentParser:
+    """Observability flags shared by the root parser and every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument("--trace", action="store_true",
+                       help="enable the span tracer (REPRO_TRACE=1)")
+    group.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write the collected trace to PATH (implies --trace)")
+    group.add_argument("--trace-format", choices=["chrome", "jsonl"],
+                       default="chrome",
+                       help="trace file format: chrome://tracing JSON or JSONL")
+    group.add_argument("--log-level", default=None,
+                       choices=["debug", "info", "warning", "error"],
+                       help="structured log threshold (REPRO_LOG_LEVEL)")
+    group.add_argument("--log-json", action="store_true",
+                       help="emit JSON-lines logs (REPRO_LOG_JSON=1)")
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI schema (exposed for the dispatch-table tests)."""
+    global_opts = _global_options()
     parser = argparse.ArgumentParser(
-        prog="repro", description="ODQ (ICPP 2023) reproduction toolkit"
+        prog="repro",
+        description="ODQ (ICPP 2023) reproduction toolkit",
+        parents=[global_opts],
     )
     sub = parser.add_subparsers(dest="command")
-    sub.add_parser("info", help="package and experiment-scale info")
-    sub.add_parser("table1", help="print Table 1 (PE allocation frontier)")
-    sub.add_parser("table2", help="print Table 2 (accelerator configs)")
-    p_sim = sub.add_parser("simulate", help="simulate a saved mask dump")
+    sub.add_parser("info", help="package and experiment-scale info",
+                   parents=[global_opts])
+    sub.add_parser("table1", help="print Table 1 (PE allocation frontier)",
+                   parents=[global_opts])
+    sub.add_parser("table2", help="print Table 2 (accelerator configs)",
+                   parents=[global_opts])
+    p_sim = sub.add_parser("simulate", help="simulate a saved mask dump",
+                           parents=[global_opts])
     p_sim.add_argument("dump", help="path to a .npz mask dump")
-    sub.add_parser("quickstart", help="run the end-to-end quickstart example")
+    sub.add_parser("quickstart", help="run the end-to-end quickstart example",
+                   parents=[global_opts])
 
-    p_serve = sub.add_parser("serve", help="start the batched inference HTTP server")
+    p_prof = sub.add_parser(
+        "profile",
+        help="per-layer per-phase profile of quantized inference",
+        parents=[global_opts],
+    )
+    p_prof.add_argument("model", help="model registry name (e.g. lenet, resnet8)")
+    p_prof.add_argument("scheme", help="quantization scheme (e.g. odq, int8)")
+    p_prof.add_argument("--threshold", type=float, default=None,
+                        help="sensitivity threshold for odq/drq schemes")
+    p_prof.add_argument("--dataset", default="mnist",
+                        help="synthetic dataset (mnist|cifar10|cifar100)")
+    p_prof.add_argument("--images", type=int, default=8,
+                        help="images per profiled batch")
+    p_prof.add_argument("--batches", type=int, default=1,
+                        help="number of inference batches to profile")
+    p_prof.add_argument("--calib-images", type=int, default=32,
+                        help="calibration images for the session build")
+    p_prof.add_argument("--train-epochs", type=int, default=0,
+                        help="warm-up training epochs before profiling")
+    p_prof.add_argument("--flame", action="store_true",
+                        help="also print the aggregated ASCII call tree")
+
+    p_serve = sub.add_parser("serve", help="start the batched inference HTTP server",
+                             parents=[global_opts])
     _add_serve_options(p_serve)
     p_serve.add_argument("--verbose", action="store_true",
                          help="log each HTTP request")
 
     p_bench = sub.add_parser(
-        "bench-serve", help="throughput: naive vs cached vs micro-batched"
+        "bench-serve", help="throughput: naive vs cached vs micro-batched",
+        parents=[global_opts],
     )
     _add_serve_options(p_bench)
     p_bench.add_argument("--requests", type=int, default=64,
@@ -199,10 +287,38 @@ HANDLERS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "simulate": _cmd_simulate,
+    "profile": _cmd_profile,
     "quickstart": _cmd_quickstart,
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
 }
+
+
+def _configure_observability(args) -> None:
+    """Apply the global --trace/--log-* flags before dispatch."""
+    if getattr(args, "log_level", None):
+        obslog.configure(level=args.log_level)
+    if getattr(args, "log_json", False):
+        obslog.configure(json_mode=True)
+    if getattr(args, "trace", False) or getattr(args, "trace_out", None):
+        trace.enable()
+
+
+def _write_trace(args) -> None:
+    """Shared --trace-out epilogue: export whatever the tracer collected."""
+    trace_out = getattr(args, "trace_out", None)
+    if not trace_out:
+        return
+    from repro.obs import exporters
+
+    spans = getattr(args, "_profile_spans", None)
+    if spans is None:
+        spans = trace.spans()
+    if getattr(args, "trace_format", "chrome") == "jsonl":
+        path = exporters.write_jsonl(spans, trace_out)
+    else:
+        path = exporters.write_chrome_trace(spans, trace_out)
+    console(f"[trace: {len(spans)} spans written to {path}]", err=True)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -212,16 +328,19 @@ def main(argv: list[str] | None = None) -> int:
         # No command: print usage and exit 2 (matching argparse's own
         # behaviour for unknown commands) instead of tracebacking.
         parser.print_usage(sys.stderr)
-        print(f"{parser.prog}: error: a command is required "
-              f"(one of: {', '.join(HANDLERS)})", file=sys.stderr)
+        console(f"{parser.prog}: error: a command is required "
+                f"(one of: {', '.join(HANDLERS)})", err=True)
         return 2
     handler = HANDLERS.get(args.command)
     if handler is None:  # defensive: subparser without a handler entry
         parser.print_usage(sys.stderr)
-        print(f"{parser.prog}: error: unhandled command {args.command!r}",
-              file=sys.stderr)
+        console(f"{parser.prog}: error: unhandled command {args.command!r}",
+                err=True)
         return 2
-    return handler(args)
+    _configure_observability(args)
+    rc = handler(args)
+    _write_trace(args)
+    return rc
 
 
 if __name__ == "__main__":

@@ -55,6 +55,10 @@ from repro.accel.memory import (
 from repro.accel.pe import bitfusion_mac_cycles
 from repro.accel.schedule import odq_dynamic_schedule, static_schedule
 from repro.core.base import LayerRecord
+from repro.obs import trace
+from repro.obs.log import get_logger
+
+_log = get_logger("repro.accel.simulator")
 
 
 @dataclass
@@ -222,8 +226,24 @@ class AcceleratorModel:
         )
 
     def simulate(self, workloads: list[LayerWorkload]) -> SimResult:
-        result = SimResult(accelerator=self.spec.name)
-        result.layers = [self.simulate_layer(wl) for wl in workloads]
+        with trace.span(
+            "accel.simulate", accelerator=self.spec.name, layers=len(workloads)
+        ) as sp:
+            result = SimResult(accelerator=self.spec.name)
+            for wl in workloads:
+                with trace.span("accel.layer", accelerator=self.spec.name,
+                                layer=wl.name) as lsp:
+                    layer = self.simulate_layer(wl)
+                    lsp.add("cycles", layer.cycles)
+                    lsp.add("energy_pj", layer.energy.total_pj)
+                result.layers.append(layer)
+            sp.add("total_cycles", result.total_cycles)
+        _log.debug(
+            "simulated",
+            accelerator=self.spec.name,
+            layers=len(workloads),
+            total_cycles=result.total_cycles,
+        )
         return result
 
 

@@ -27,6 +27,7 @@ import numpy as np
 from repro.config import ODQ_LOW_BITS, ODQ_TOTAL_BITS
 from repro.core.base import ConvExecutor, int_conv2d
 from repro.core.masks import SensitivityMask, mask_from_magnitude
+from repro.obs import trace
 from repro.nn.layers import Conv2d
 from repro.quant.bitsplit import split_planes
 from repro.quant.observer import MinMaxObserver, Observer
@@ -228,7 +229,8 @@ class ODQConvExecutor(ConvExecutor):
         output feature.
         """
         qp_a = self._qp_a_for(x)
-        q = quantize(x, qp_a)
+        with trace.span("odq.quantize", layer=self.info.name):
+            q = quantize(x, qp_a)
         e_low = (
             float(split_planes(q, qp_a, self.low_bits).low.mean())
             if self.compensate_low_bits
@@ -266,24 +268,37 @@ class ODQConvExecutor(ConvExecutor):
         if not self.frozen:
             raise RuntimeError(f"executor {self.info.name} not frozen; calibrate first")
         self._note_shapes(x)
+        name = self.info.name
 
-        partial = self.predict_partial(x)
-        if self.collect_partials:
-            flat = np.abs(partial).reshape(-1)
-            step = max(1, flat.size // 4096)
-            self.record.extra.setdefault("partial_abs_samples", []).append(flat[::step])
-        mask = mask_from_magnitude(partial, self.effective_threshold)
-        full = self.full_result(x)
-        out = np.where(mask.mask, full, partial)
+        with trace.span("odq.run", layer=name) as sp:
+            with trace.span("odq.predict_partial", layer=name):
+                partial = self.predict_partial(x)
+            if self.collect_partials:
+                flat = np.abs(partial).reshape(-1)
+                step = max(1, flat.size // 4096)
+                self.record.extra.setdefault("partial_abs_samples", []).append(flat[::step])
+            with trace.span("odq.mask", layer=name):
+                mask = mask_from_magnitude(partial, self.effective_threshold)
+            with trace.span("odq.full_result", layer=name):
+                full = self.full_result(x)
+            out = np.where(mask.mask, full, partial)
 
-        self.record.add_mask(mask)
-        if not self.keep_masks:
-            self.record.last_mask = None
-        n_out = partial.size
-        # Predictor: one INT2 MAC stream over every output feature.
-        self.record.macs["pred_int2"] += n_out * self.info.macs_per_output
-        # Executor: the remaining three cross terms, only for sensitive outputs.
-        self.record.macs["exec_int4"] += mask.sensitive_count * self.info.macs_per_output
+            self.record.add_mask(mask)
+            if not self.keep_masks:
+                self.record.last_mask = None
+            n_out = partial.size
+            mpo = self.info.macs_per_output
+            # Predictor: one INT2 MAC stream over every output feature.
+            self.record.macs["pred_int2"] += n_out * mpo
+            # Executor: the remaining three cross terms, only for sensitive outputs.
+            self.record.macs["exec_int4"] += mask.sensitive_count * mpo
+            # Profiling counters: where the MACs went (and the dense-INT4
+            # work the insensitive outputs skipped).
+            sp.add("outputs", n_out)
+            sp.add("sensitive", mask.sensitive_count)
+            sp.add("macs_pred", n_out * mpo)
+            sp.add("macs_exec", mask.sensitive_count * mpo)
+            sp.add("macs_skipped", (n_out - mask.sensitive_count) * mpo)
         return out
 
     # -- introspection ---------------------------------------------------------------

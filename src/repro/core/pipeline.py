@@ -24,6 +24,10 @@ from repro.core.schemes import Scheme
 from repro.nn.layers import Conv2d, Module, swap_modules
 from repro.nn.tensor import Tensor
 from repro.nn.trainer import iterate_minibatches
+from repro.obs import trace
+from repro.obs.log import get_logger
+
+_log = get_logger("repro.core.pipeline")
 
 
 class InstrumentedConv(Module):
@@ -37,9 +41,16 @@ class InstrumentedConv(Module):
     def forward(self, x: Tensor) -> Tensor:
         if self.engine.capture_inputs:
             self.executor.record.extra["last_input"] = x.data
-        if self.engine.mode == "calibrate":
-            return Tensor(self.executor.calibrate(x.data))
-        return Tensor(self.executor.run(x.data))
+        calibrating = self.engine.mode == "calibrate"
+        fn = self.executor.calibrate if calibrating else self.executor.run
+        if trace.enabled():
+            with trace.span(
+                "engine.layer",
+                layer=self.executor.info.name,
+                mode="calibrate" if calibrating else "run",
+            ):
+                return Tensor(fn(x.data))
+        return Tensor(fn(x.data))
 
 
 class QuantizedInferenceEngine:
@@ -169,7 +180,9 @@ class QuantizedInferenceEngine:
         a failure leaves it in ``calibrate`` mode with ``infer`` refusing
         to serve stale state.
         """
-        with self._lock:
+        with self._lock, trace.span(
+            "engine.calibrate", images=len(x), scheme=self.scheme.name
+        ):
             self.mode = "calibrate"
             self.model.eval()
             for start in range(0, len(x), batch_size):
@@ -177,6 +190,12 @@ class QuantizedInferenceEngine:
             for executor in self.executors.values():
                 executor.freeze()
             self.mode = "run"
+        _log.debug(
+            "engine_calibrated",
+            scheme=self.scheme.name,
+            images=len(x),
+            layers=len(self.executors),
+        )
 
     # -- inference -------------------------------------------------------------------
 
@@ -195,6 +214,11 @@ class QuantizedInferenceEngine:
             if self.mode != "run":
                 raise RuntimeError("engine not calibrated; call calibrate() first")
             self.model.eval()
+            if trace.enabled():
+                with trace.span(
+                    "engine.infer", batch=int(x.shape[0]), scheme=self.scheme.name
+                ):
+                    return self.model(Tensor(x)).data
             return self.model(Tensor(x)).data
 
     def forward(self, x: np.ndarray) -> np.ndarray:

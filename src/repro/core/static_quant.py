@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.core.base import ConvExecutor, int_conv2d
 from repro.nn.layers import Conv2d
+from repro.obs import trace
 from repro.quant.observer import MinMaxObserver, Observer
 from repro.quant.uniform import QParams, quantize, symmetric_qparams
 
@@ -70,14 +71,20 @@ class StaticQuantConvExecutor(ConvExecutor):
         if not self.frozen:
             raise RuntimeError(f"executor {self.info.name} not frozen; calibrate first")
         self._note_shapes(x)
-        q = quantize(x, self.qp_a)
-        acc = int_conv2d(q, self._qw, self.conv.stride, self.conv.padding,
-                         pad_value=self.qp_a.zero_point)
-        out = self.qp_a.scale * self.qp_w.scale * (acc - self.qp_a.zero_point * self._w_sum)
-        if self.conv.bias is not None:
-            out = out + self.conv.bias.data.reshape(1, -1, 1, 1)
-        self.record.macs[self.mac_key] += x.shape[0] * self.record.out_h \
-            * self.record.out_w * self.info.out_channels * self.info.macs_per_output
+        name = self.info.name
+        with trace.span("static.run", layer=name, bits=self.bits) as sp:
+            with trace.span("static.quantize", layer=name):
+                q = quantize(x, self.qp_a)
+            with trace.span("static.full_result", layer=name):
+                acc = int_conv2d(q, self._qw, self.conv.stride, self.conv.padding,
+                                 pad_value=self.qp_a.zero_point)
+            out = self.qp_a.scale * self.qp_w.scale * (acc - self.qp_a.zero_point * self._w_sum)
+            if self.conv.bias is not None:
+                out = out + self.conv.bias.data.reshape(1, -1, 1, 1)
+            macs = x.shape[0] * self.record.out_h \
+                * self.record.out_w * self.info.out_channels * self.info.macs_per_output
+            self.record.macs[self.mac_key] += macs
+            sp.add("macs_exec", macs)
         return out
 
 

@@ -17,6 +17,10 @@ from repro.nn.layers import Module
 from repro.nn.loss import accuracy, cross_entropy
 from repro.nn.optim import Optimizer
 from repro.nn.tensor import Tensor
+from repro.obs import trace
+from repro.obs.log import get_logger
+
+_log = get_logger("repro.nn.trainer")
 
 
 @dataclass
@@ -106,33 +110,40 @@ class Trainer:
         epochs: int = 1,
     ) -> TrainHistory:
         history = TrainHistory()
-        for epoch in range(epochs):
-            self.model.train()
-            losses, accs = [], []
-            for xb, yb in iterate_minibatches(
-                x_train, y_train, self.batch_size, self.rng
-            ):
-                logits = self.model(Tensor(xb))
-                loss = self.loss_fn(logits, yb)
-                self.optimizer.zero_grad()
-                loss.backward()
-                self._clip_gradients()
-                self.optimizer.step()
-                losses.append(loss.item())
-                accs.append(accuracy(logits, yb))
-            if self.scheduler is not None:
-                self.scheduler.step()
-            history.train_loss.append(float(np.mean(losses)))
-            history.train_acc.append(float(np.mean(accs)))
-            if x_test is not None and y_test is not None:
-                history.test_acc.append(evaluate(self.model, x_test, y_test))
-            if self.verbose:
-                test = f" test_acc={history.test_acc[-1]:.3f}" if history.test_acc else ""
-                print(
-                    f"epoch {epoch + 1}/{epochs}: "
-                    f"loss={history.train_loss[-1]:.4f} "
-                    f"acc={history.train_acc[-1]:.3f}{test}"
+        with trace.span("train.fit", epochs=epochs, images=len(x_train)):
+            for epoch in range(epochs):
+                with trace.span("train.epoch", epoch=epoch + 1) as sp:
+                    self.model.train()
+                    losses, accs = [], []
+                    for xb, yb in iterate_minibatches(
+                        x_train, y_train, self.batch_size, self.rng
+                    ):
+                        logits = self.model(Tensor(xb))
+                        loss = self.loss_fn(logits, yb)
+                        self.optimizer.zero_grad()
+                        loss.backward()
+                        self._clip_gradients()
+                        self.optimizer.step()
+                        losses.append(loss.item())
+                        accs.append(accuracy(logits, yb))
+                    if self.scheduler is not None:
+                        self.scheduler.step()
+                    history.train_loss.append(float(np.mean(losses)))
+                    history.train_acc.append(float(np.mean(accs)))
+                    if x_test is not None and y_test is not None:
+                        history.test_acc.append(evaluate(self.model, x_test, y_test))
+                    sp.add("loss", history.train_loss[-1])
+                    sp.add("acc", history.train_acc[-1])
+                fields = dict(
+                    epoch=epoch + 1,
+                    epochs=epochs,
+                    loss=round(history.train_loss[-1], 4),
+                    acc=round(history.train_acc[-1], 3),
                 )
+                if history.test_acc:
+                    fields["test_acc"] = round(history.test_acc[-1], 3)
+                # verbose → operator-visible INFO; otherwise a DEBUG trail.
+                _log.log("info" if self.verbose else "debug", "epoch", **fields)
         return history
 
 

@@ -1,0 +1,109 @@
+"""Reservoir histogram shared by serving metrics and the profiler.
+
+Historically this type lived in ``repro.serve.metrics``; it moved here so
+``repro.obs.profile`` can reuse it for per-phase latency distributions
+instead of duplicating the implementation.  ``repro.serve.metrics``
+re-exports it, so existing imports keep working.
+
+Edge behavior (regression-tested in ``tests/serve/test_metrics_edge.py``):
+
+* empty reservoir → ``percentile``/``summary`` return 0.0, never raise;
+* single sample → every percentile returns that sample;
+* NaN observations are **dropped** (counted in :attr:`dropped_nan`) so a
+  single bad measurement cannot poison ``sorted()`` and turn every
+  percentile into NaN;
+* a zero-size reservoir degenerates gracefully (exact count/sum kept,
+  percentiles report 0.0).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+
+#: Default reservoir size for histogram percentile estimation.
+DEFAULT_RESERVOIR = 8192
+
+
+class Histogram:
+    """Observation stream with exact count/sum and reservoir percentiles."""
+
+    def __init__(self, name: str, help: str = "", reservoir: int = DEFAULT_RESERVOIR):
+        self.name = name
+        self.help = help
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._values: deque[float] = deque(maxlen=max(0, int(reservoir)))
+        self._lock = threading.Lock()
+        #: NaN observations silently dropped (they would poison percentiles).
+        self.dropped_nan = 0
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        if math.isnan(v):
+            with self._lock:
+                self.dropped_nan += 1
+            return
+        with self._lock:
+            self._count += 1
+            self._sum += v
+            self._min = min(self._min, v)
+            self._max = max(self._max, v)
+            self._values.append(v)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile over the reservoir (p in [0,100]).
+
+        Empty reservoir → 0.0; single sample → that sample.  Out-of-range
+        or NaN ``p`` raises ``ValueError`` (NaN fails the range check).
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            data = sorted(self._values)
+        if not data:
+            return 0.0
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100.0) * (len(data) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(data) - 1)
+        frac = rank - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def summary(self) -> dict:
+        with self._lock:
+            count, total = self._count, self._sum
+            vmin = self._min if self._count else 0.0
+            vmax = self._max if self._count else 0.0
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": vmin,
+            "max": vmax,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+__all__ = ["Histogram", "DEFAULT_RESERVOIR"]

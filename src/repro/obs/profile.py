@@ -1,0 +1,328 @@
+"""Phase-level profiling of the quantized-inference pipeline.
+
+Turns a span trace (see :mod:`repro.obs.trace`) plus the engine's
+per-layer :class:`~repro.core.base.LayerRecord` statistics into the
+paper-style accounting the motivation study needs at runtime:
+
+* per layer × phase (``quantize``, ``predict_partial``, ``mask``,
+  ``full_result``) wall-clock totals and per-call distributions;
+* MACs computed (predictor INT2 + executor INT4) vs. MACs *skipped*
+  (the dense-INT4 work ODQ's insensitive outputs avoided);
+* per-layer sensitive ratio (the knob Figs. 9-11 sweep).
+
+:func:`profile_inference` is the driver behind ``repro profile``: it
+builds a model session, enables the tracer, streams a few batches
+through the engine, and returns a :class:`ProfileResult` whose
+``report.render()`` is the terminal artefact and whose ``spans`` feed
+the JSONL / Chrome exporters.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.obs.hist import Histogram
+from repro.obs.trace import SpanRecord
+from repro.obs.exporters import ascii_rollup
+from repro.utils.report import ascii_table, format_percent
+
+#: Executor phases reported per layer, in pipeline order.
+PHASES = ("quantize", "predict_partial", "mask", "full_result")
+
+
+@dataclass
+class PhaseStat:
+    """Aggregated timing of one (layer, phase) cell."""
+
+    layer: str
+    phase: str
+    calls: int = 0
+    total_us: float = 0.0
+    hist: Histogram = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.hist is None:
+            self.hist = Histogram(f"{self.layer}.{self.phase}_ms", reservoir=1024)
+
+    def add(self, duration_us: float) -> None:
+        self.calls += 1
+        self.total_us += duration_us
+        self.hist.observe(duration_us / 1000.0)
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_us / 1000.0
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.calls if self.calls else 0.0
+
+
+@dataclass
+class LayerProfile:
+    """Everything the report knows about one conv layer."""
+
+    name: str
+    phases: "OrderedDict[str, PhaseStat]" = field(default_factory=OrderedDict)
+    macs_pred: int = 0
+    macs_exec: int = 0
+    macs_skipped: int = 0
+    outputs: int = 0
+    sensitive: int = 0
+
+    def phase(self, phase: str) -> PhaseStat:
+        stat = self.phases.get(phase)
+        if stat is None:
+            stat = self.phases[phase] = PhaseStat(self.name, phase)
+        return stat
+
+    @property
+    def total_ms(self) -> float:
+        return sum(p.total_ms for p in self.phases.values())
+
+    @property
+    def sensitive_ratio(self) -> float:
+        return self.sensitive / self.outputs if self.outputs else 0.0
+
+    @property
+    def macs_computed(self) -> int:
+        return self.macs_pred + self.macs_exec
+
+    @property
+    def skip_ratio(self) -> float:
+        dense = self.macs_exec + self.macs_skipped
+        return self.macs_skipped / dense if dense else 0.0
+
+
+class ProfileReport:
+    """Per-layer, per-phase rollup of one traced inference run."""
+
+    def __init__(self):
+        self.layers: "OrderedDict[str, LayerProfile]" = OrderedDict()
+        self.spans: list[SpanRecord] = []
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_spans(cls, spans: Sequence[SpanRecord], records=None) -> "ProfileReport":
+        """Build the report from finished spans (+ optional engine records).
+
+        Phase timing comes from ``odq.<phase>`` spans carrying a ``layer``
+        attribute (any executor emitting that shape participates — the
+        static/DRQ executors emit ``quantize``/``full_result`` only).
+        MAC and sensitivity accounting comes from the span counters and,
+        when given, the engine's ``records`` mapping overrides them with
+        the exact census.
+        """
+        report = cls()
+        report.spans = list(spans)
+        for s in report.spans:
+            layer_name = s.attrs.get("layer")
+            if layer_name is None:
+                continue
+            prefix, _, phase = s.name.rpartition(".")
+            if prefix not in ("odq", "static", "drq"):
+                continue
+            layer = report._layer(layer_name)
+            if phase in PHASES:
+                layer.phase(phase).add(s.duration_us)
+            if s.counters:
+                layer.macs_pred += int(s.counters.get("macs_pred", 0))
+                layer.macs_exec += int(s.counters.get("macs_exec", 0))
+                layer.macs_skipped += int(s.counters.get("macs_skipped", 0))
+                layer.outputs += int(s.counters.get("outputs", 0))
+                layer.sensitive += int(s.counters.get("sensitive", 0))
+        if records is not None:
+            report._merge_records(records)
+        return report
+
+    def _layer(self, name: str) -> LayerProfile:
+        layer = self.layers.get(name)
+        if layer is None:
+            layer = self.layers[name] = LayerProfile(name)
+        return layer
+
+    def _merge_records(self, records) -> None:
+        """Overwrite MAC/sensitivity tallies with the engine's exact census."""
+        for name, rec in records.items():
+            layer = self._layer(name)
+            layer.macs_pred = int(rec.macs.get("pred_int2", 0))
+            layer.macs_exec = int(rec.macs.get("exec_int4", 0))
+            layer.outputs = int(rec.outputs_total)
+            layer.sensitive = int(rec.sensitive_total)
+            insensitive = rec.outputs_total - rec.sensitive_total
+            layer.macs_skipped = int(insensitive * rec.info.macs_per_output)
+
+    # -- rendering -----------------------------------------------------------
+
+    @property
+    def total_ms(self) -> float:
+        return sum(l.total_ms for l in self.layers.values())
+
+    def phase_totals(self) -> "OrderedDict[str, float]":
+        """Network-wide total milliseconds per phase."""
+        totals: "OrderedDict[str, float]" = OrderedDict((p, 0.0) for p in PHASES)
+        for layer in self.layers.values():
+            for phase, stat in layer.phases.items():
+                totals[phase] = totals.get(phase, 0.0) + stat.total_ms
+        return OrderedDict((p, t) for p, t in totals.items() if t > 0.0)
+
+    def render(self, title: str = "per-layer phase profile") -> str:
+        """The terminal artefact: phase-timing + MAC tables + phase split."""
+        grand = self.total_ms or 1.0
+        timing_rows = []
+        for layer in self.layers.values():
+            for phase in PHASES:
+                stat = layer.phases.get(phase)
+                if stat is None:
+                    continue
+                timing_rows.append([
+                    layer.name,
+                    phase,
+                    stat.calls,
+                    f"{stat.total_ms:.3f}",
+                    f"{stat.mean_ms:.3f}",
+                    f"{stat.hist.percentile(95):.3f}",
+                    format_percent(stat.total_ms / grand),
+                ])
+        parts = []
+        if timing_rows:
+            parts.append(ascii_table(
+                ["layer", "phase", "calls", "total ms", "mean ms", "p95 ms", "share"],
+                timing_rows,
+                title=title,
+            ))
+        mac_rows = [
+            [
+                layer.name,
+                format_percent(layer.sensitive_ratio),
+                f"{layer.macs_pred:,}",
+                f"{layer.macs_exec:,}",
+                f"{layer.macs_skipped:,}",
+                format_percent(layer.skip_ratio),
+            ]
+            for layer in self.layers.values()
+            if layer.outputs or layer.macs_computed
+        ]
+        if mac_rows:
+            parts.append(ascii_table(
+                ["layer", "sensitive", "MACs pred(INT2)", "MACs exec(INT4)",
+                 "MACs skipped", "skip ratio"],
+                mac_rows,
+                title="MAC census (computed vs skipped)",
+            ))
+        totals = self.phase_totals()
+        if totals:
+            rows = [[p, f"{t:.3f}", format_percent(t / grand)] for p, t in totals.items()]
+            parts.append(ascii_table(["phase", "total ms", "share"], rows,
+                                     title="phase split (predict vs full-result)"))
+        return "\n\n".join(parts) if parts else "(no layer phases captured)"
+
+    def render_flame(self) -> str:
+        """Aggregated ASCII call tree of the underlying spans."""
+        return ascii_rollup(self.spans)
+
+
+@dataclass
+class ProfileResult:
+    """Output of :func:`profile_inference`."""
+
+    report: ProfileReport
+    spans: list[SpanRecord]
+    records: "OrderedDict"
+    session: dict
+    images: int
+    batches: int
+    infer_seconds: float
+
+    def render(self) -> str:
+        head = (
+            f"repro profile — model={self.session.get('model')} "
+            f"scheme={self.session.get('scheme')} "
+            f"threshold={self.session.get('threshold')} "
+            f"images={self.images} batches={self.batches} "
+            f"infer={self.infer_seconds * 1000.0:.1f}ms"
+        )
+        return head + "\n\n" + self.report.render()
+
+
+def profile_inference(
+    model: str,
+    scheme: str,
+    threshold: float | None = None,
+    dataset: str = "mnist",
+    images: int = 8,
+    batches: int = 1,
+    calib_images: int = 32,
+    train_epochs: int = 0,
+    tracer=None,
+) -> ProfileResult:
+    """Build a session, trace ``batches`` inference batches, report.
+
+    Reuses :class:`~repro.serve.session.ModelSession` so the profiled
+    pipeline is byte-identical to what serving runs.  The tracer is
+    enabled only around the measured ``infer`` calls — session build and
+    calibration are traced too (they appear in the flame view) but the
+    per-phase report counts only ``run``-mode spans because calibration
+    executes the FP reference path, not the ODQ phases.
+    """
+    import time as _time
+
+    import numpy as np
+
+    from repro.obs import trace as trace_mod
+    from repro.serve.config import ServeConfig
+    from repro.serve.session import ModelSession
+
+    tracer = tracer or trace_mod.get_tracer()
+    config = ServeConfig(
+        model=model,
+        scheme=scheme,
+        threshold=threshold,
+        dataset=dataset,
+        train_epochs=train_epochs,
+        calib_images=calib_images,
+    )
+    session = ModelSession(config)
+    engine = session.engine
+    engine.reset_records()
+
+    rng = np.random.default_rng(config.seed)
+    sample = session.sample_inputs
+    if len(sample) < images:
+        reps = -(-images // len(sample))
+        sample = np.concatenate([sample] * reps)[:images]
+    else:
+        sample = sample[:images]
+    noise = rng.normal(0.0, 1e-3, size=(batches,) + sample.shape)
+
+    with tracer.collect(reset=True):
+        t0 = _time.perf_counter()
+        for b in range(batches):
+            engine.infer(sample + noise[b])
+        infer_seconds = _time.perf_counter() - t0
+        spans = tracer.spans()
+
+    records = engine.records
+    report = ProfileReport.from_spans(spans, records)
+    return ProfileResult(
+        report=report,
+        spans=spans,
+        records=records,
+        session=session.describe(),
+        images=int(sample.shape[0]),
+        batches=batches,
+        infer_seconds=infer_seconds,
+    )
+
+
+__all__ = [
+    "PHASES",
+    "PhaseStat",
+    "LayerProfile",
+    "ProfileReport",
+    "ProfileResult",
+    "profile_inference",
+]

@@ -5,7 +5,9 @@ JSON-over-POST inference plus operational endpoints:
 =============  ======  ====================================================
 ``/predict``   POST    ``{"inputs": [...]}`` → ``{"predictions": [...]}``
 ``/healthz``   GET     liveness + session summary
-``/metrics``   GET     JSON metrics snapshot (counters/gauges/histograms)
+``/metrics``   GET     JSON metrics snapshot (counters/gauges/histograms);
+                       ``?format=prom`` or ``Accept: text/plain`` returns
+                       Prometheus text exposition instead
 ``/stats``     GET     plain-text ASCII tables (metrics + worker stats)
 =============  ======  ====================================================
 
@@ -22,8 +24,11 @@ import json
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING
+from urllib.parse import parse_qs, urlparse
 
 import numpy as np
+
+from repro.obs import trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serve.server import InferenceServer
@@ -72,13 +77,34 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
 
     # -- GET ----------------------------------------------------------------
 
+    def _wants_prometheus(self, query: dict) -> bool:
+        """Content negotiation for ``/metrics``: JSON unless asked otherwise.
+
+        Prometheus text exposition is selected by ``?format=prom`` (or
+        ``prometheus``/``text``) or by an ``Accept`` header preferring
+        ``text/plain`` (what Prometheus scrapers send) without also
+        accepting JSON.  ``?format=json`` always forces JSON.
+        """
+        fmt = (query.get("format", [""])[0] or "").lower()
+        if fmt in ("prom", "prometheus", "text"):
+            return True
+        if fmt:  # explicit json or unknown → JSON default
+            return False
+        accept = self.headers.get("Accept", "")
+        return "text/plain" in accept and "application/json" not in accept
+
     def do_GET(self) -> None:  # noqa: N802 — stdlib API
         app = self.server.app
-        if self.path == "/healthz":
+        parsed = urlparse(self.path)
+        route = parsed.path
+        if route == "/healthz":
             self._send_json(app.health())
-        elif self.path == "/metrics":
-            self._send_json(app.metrics.as_dict())
-        elif self.path == "/stats":
+        elif route == "/metrics":
+            if self._wants_prometheus(parse_qs(parsed.query)):
+                self._send_text(app.metrics.prometheus())
+            else:
+                self._send_json(app.metrics.as_dict())
+        elif route == "/stats":
             self._send_text(app.render_stats())
         else:
             self._send_json({"error": f"no such endpoint {self.path!r}"}, 404)
@@ -125,8 +151,9 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
             )
 
         t0 = time.perf_counter()
-        future = app.batcher.submit(arr)
-        logits = future.result(timeout=PREDICT_TIMEOUT_SECONDS)
+        with trace.span("serve.predict", batch=int(arr.shape[0])):
+            future = app.batcher.submit(arr)
+            logits = future.result(timeout=PREDICT_TIMEOUT_SECONDS)
         elapsed_ms = (time.perf_counter() - t0) * 1000.0
         app.metrics.histogram("e2e_ms", "end-to-end /predict latency").observe(
             elapsed_ms

@@ -3,12 +3,16 @@
 A tiny dependency-free registry in the spirit of Prometheus client
 libraries.  Histograms keep a bounded reservoir of recent observations so
 percentiles (p50/p95/p99) stay cheap and memory-bounded under sustained
-traffic; counts/sums are exact over the full lifetime.
+traffic; counts/sums are exact over the full lifetime.  The
+:class:`Histogram` type itself lives in :mod:`repro.obs.hist` (the
+profiler reuses it) and is re-exported here for back-compat.
 
-The registry renders two ways:
+The registry renders three ways:
 
 * :meth:`MetricsRegistry.as_dict` — JSON-safe dict for the ``/metrics``
   HTTP endpoint and programmatic scraping;
+* :meth:`MetricsRegistry.prometheus` — Prometheus text exposition
+  (``/metrics?format=prom`` or ``Accept: text/plain``);
 * :meth:`MetricsRegistry.render` — ASCII tables (via
   :func:`repro.utils.report.ascii_table`) for ``/stats`` and the CLI.
 """
@@ -16,12 +20,10 @@ The registry renders two ways:
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict, deque
+from collections import OrderedDict
 
+from repro.obs.hist import DEFAULT_RESERVOIR, Histogram
 from repro.utils.report import ascii_table
-
-#: Default reservoir size for histogram percentile estimation.
-DEFAULT_RESERVOIR = 8192
 
 
 class Counter:
@@ -62,71 +64,6 @@ class Gauge:
     def value(self) -> float:
         with self._lock:
             return self._value
-
-
-class Histogram:
-    """Observation stream with exact count/sum and reservoir percentiles."""
-
-    def __init__(self, name: str, help: str = "", reservoir: int = DEFAULT_RESERVOIR):
-        self.name = name
-        self.help = help
-        self._count = 0
-        self._sum = 0.0
-        self._min = float("inf")
-        self._max = float("-inf")
-        self._values: deque[float] = deque(maxlen=reservoir)
-        self._lock = threading.Lock()
-
-    def observe(self, value: float) -> None:
-        v = float(value)
-        with self._lock:
-            self._count += 1
-            self._sum += v
-            self._min = min(self._min, v)
-            self._max = max(self._max, v)
-            self._values.append(v)
-
-    @property
-    def count(self) -> int:
-        with self._lock:
-            return self._count
-
-    @property
-    def mean(self) -> float:
-        with self._lock:
-            return self._sum / self._count if self._count else 0.0
-
-    def percentile(self, p: float) -> float:
-        """Linear-interpolated percentile over the reservoir (p in [0,100])."""
-        if not 0.0 <= p <= 100.0:
-            raise ValueError("percentile must be in [0, 100]")
-        with self._lock:
-            data = sorted(self._values)
-        if not data:
-            return 0.0
-        if len(data) == 1:
-            return data[0]
-        rank = (p / 100.0) * (len(data) - 1)
-        lo = int(rank)
-        hi = min(lo + 1, len(data) - 1)
-        frac = rank - lo
-        return data[lo] * (1.0 - frac) + data[hi] * frac
-
-    def summary(self) -> dict:
-        with self._lock:
-            count, total = self._count, self._sum
-            vmin = self._min if self._count else 0.0
-            vmax = self._max if self._count else 0.0
-        return {
-            "count": count,
-            "sum": total,
-            "mean": total / count if count else 0.0,
-            "min": vmin,
-            "max": vmax,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
-        }
 
 
 class MetricsRegistry:
@@ -177,6 +114,18 @@ class MetricsRegistry:
             "gauges": {g.name: g.value for g in gauges},
             "histograms": {h.name: h.summary() for h in histograms},
         }
+
+    def prometheus(self, namespace: str = "repro") -> str:
+        """Prometheus text exposition of the whole registry.
+
+        Counters render as ``counter`` (``_total`` suffix enforced),
+        gauges as ``gauge``, histograms as ``summary`` with
+        p50/p95/p99 quantile series.  Colon-labeled names such as
+        ``sensitive_ratio:<layer>`` become a ``layer`` label.
+        """
+        from repro.obs.exporters import prometheus_text
+
+        return prometheus_text(self.as_dict(), namespace=namespace)
 
     def render(self, title: str = "serving metrics") -> str:
         """ASCII tables of the whole registry (the ``/stats`` body)."""

@@ -33,7 +33,11 @@ from repro.data.synthetic import (
 from repro.models.registry import build_model
 from repro.nn.optim import SGD
 from repro.nn.trainer import Trainer
+from repro.obs import trace
+from repro.obs.log import get_logger
 from repro.serve.config import ServeConfig
+
+_log = get_logger("repro.serve.session")
 
 
 @dataclass(frozen=True)
@@ -106,6 +110,21 @@ class ModelSession:
         self.config = config
         self.key = SessionKey.from_config(config)
         self.scheme = scheme or build_scheme(config.scheme, self.key.threshold)
+        with trace.span(
+            "serve.session_build", model=self.key.model, scheme=self.key.scheme
+        ):
+            self._build(config, t0)
+        _log.info(
+            "session_built",
+            model=self.key.model,
+            scheme=self.key.scheme,
+            threshold=self.key.threshold,
+            build_seconds=round(self.stats.build_seconds, 3),
+            layers=len(self.engine.executors),
+        )
+
+    def _build(self, config: ServeConfig, t0: float) -> None:
+        """The expensive part of construction (traced as one span)."""
 
         dataset = _build_dataset(config)
         self.input_shape: tuple[int, int, int] = dataset.image_shape

@@ -19,9 +19,13 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.pipeline import QuantizedInferenceEngine
+from repro.obs import trace
+from repro.obs.log import get_logger
 from repro.serve.batcher import MicroBatcher
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.session import ModelSession
+
+_log = get_logger("repro.serve.worker")
 
 
 @dataclass
@@ -149,11 +153,23 @@ class WorkerPool:
                 continue
             t0 = time.perf_counter()
             try:
-                outputs = engine.infer(batch.stack())
+                # Span nesting (same thread): serve.batch → engine.infer
+                # → engine.layer → odq.* phases.
+                with trace.span(
+                    "serve.batch", worker=stats.name, batch=batch.size
+                ) as sp:
+                    outputs = engine.infer(batch.stack())
+                    sp.add("requests", len(batch.requests))
             except BaseException as exc:  # noqa: BLE001 — forwarded to futures
                 stats.errors += 1
                 errors_total.inc()
                 batch.fail(exc)
+                _log.warning(
+                    "batch_failed",
+                    worker=stats.name,
+                    batch=batch.size,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 continue
             elapsed = time.perf_counter() - t0
             batch.complete(outputs)

@@ -1,0 +1,132 @@
+"""Exporter golden-shape tests: JSONL, Chrome trace-event, Prometheus."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import exporters
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture()
+def spans():
+    tracer = Tracer(enabled=True)
+    with tracer.span("engine.infer", batch=4) as root:
+        root.add("images", 4)
+        with tracer.span("engine.layer", layer="C1:conv") as sp:
+            sp.add("macs_pred", 100)
+    return tracer.spans()
+
+
+class TestJsonl:
+    def test_one_parsable_object_per_line(self, spans):
+        text = exporters.spans_to_jsonl(spans)
+        lines = text.strip().split("\n")
+        assert len(lines) == len(spans)
+        rows = [json.loads(line) for line in lines]
+        assert {r["name"] for r in rows} == {"engine.infer", "engine.layer"}
+        layer = next(r for r in rows if r["name"] == "engine.layer")
+        assert layer["attrs"] == {"layer": "C1:conv"}
+        assert layer["counters"] == {"macs_pred": 100}
+
+    def test_empty_spans_give_empty_text(self):
+        assert exporters.spans_to_jsonl([]) == ""
+
+    def test_write_jsonl_roundtrip(self, spans, tmp_path):
+        path = exporters.write_jsonl(spans, tmp_path / "t.jsonl")
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == len(spans)
+        json.loads(lines[0])
+
+
+class TestChromeTrace:
+    def test_structure_loads_in_chrome_tracing(self, spans):
+        doc = exporters.chrome_trace(spans)
+        assert "traceEvents" in doc
+        assert doc["displayTimeUnit"] == "ms"
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == len(spans)
+        for e in complete:
+            # Microsecond ts/dur, pid/tid present — the chrome://tracing schema.
+            assert set(e) >= {"name", "ph", "ts", "dur", "pid", "tid", "args"}
+            assert e["dur"] >= 0
+
+    def test_thread_name_metadata_present(self, spans):
+        doc = exporters.chrome_trace(spans, process_name="proc")
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert "process_name" in names
+        assert "thread_name" in names
+
+    def test_args_carry_attrs_and_counters(self, spans):
+        doc = exporters.chrome_trace(spans)
+        layer = next(e for e in doc["traceEvents"] if e["name"] == "engine.layer")
+        assert layer["args"]["layer"] == "C1:conv"
+        assert layer["args"]["macs_pred"] == 100
+
+    def test_write_chrome_trace_is_valid_json(self, spans, tmp_path):
+        path = exporters.write_chrome_trace(spans, tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+
+class TestPrometheus:
+    SNAPSHOT = {
+        "counters": {"requests_total": 42, "errors_total": 0},
+        "gauges": {"sensitive_ratio:C1:features.0": 0.25},
+        "histograms": {
+            "e2e_ms": {"count": 3, "sum": 6.0, "mean": 2.0, "min": 1.0,
+                       "max": 3.0, "p50": 2.0, "p95": 2.9, "p99": 2.99},
+        },
+    }
+
+    def test_counter_lines(self):
+        text = exporters.prometheus_text(self.SNAPSHOT)
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 42" in text
+        assert "repro_errors_total 0" in text
+
+    def test_gauge_with_layer_label(self):
+        text = exporters.prometheus_text(self.SNAPSHOT)
+        assert '# TYPE repro_sensitive_ratio gauge' in text
+        assert 'repro_sensitive_ratio{layer="C1:features.0"} 0.25' in text
+
+    def test_histogram_renders_as_summary(self):
+        text = exporters.prometheus_text(self.SNAPSHOT)
+        assert "# TYPE repro_e2e_ms summary" in text
+        assert 'repro_e2e_ms{quantile="0.5"} 2' in text
+        assert 'repro_e2e_ms{quantile="0.99"} 2.99' in text
+        assert "repro_e2e_ms_sum 6" in text
+        assert "repro_e2e_ms_count 3" in text
+
+    def test_every_line_is_exposition_shaped(self):
+        for line in exporters.prometheus_text(self.SNAPSHOT).strip().split("\n"):
+            assert line.startswith("#") or " " in line
+            if not line.startswith("#"):
+                name = line.split("{")[0].split(" ")[0]
+                assert name.replace("_", "").isalnum()
+
+    def test_accepts_registry_duck_type(self):
+        class Reg:
+            def as_dict(self):
+                return TestPrometheus.SNAPSHOT
+
+        assert "repro_requests_total 42" in exporters.prometheus_text(Reg())
+
+    def test_empty_snapshot_is_empty(self):
+        assert exporters.prometheus_text(
+            {"counters": {}, "gauges": {}, "histograms": {}}
+        ) == ""
+
+
+class TestAsciiRollup:
+    def test_rollup_shows_tree_and_totals(self, spans):
+        text = exporters.ascii_rollup(spans)
+        assert "engine.infer" in text
+        assert "engine.layer" in text
+        assert "total ms" in text
+
+    def test_empty_rollup(self):
+        assert "no spans" in exporters.ascii_rollup([])

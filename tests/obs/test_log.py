@@ -1,0 +1,113 @@
+"""Structured logging: levels, JSON lines, console routing."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import log
+
+
+@pytest.fixture(autouse=True)
+def _reset_logging():
+    log.reset()
+    yield
+    log.reset()
+
+
+def _capture():
+    stream = io.StringIO()
+    log.configure(stream=stream)
+    return stream
+
+
+class TestLevels:
+    def test_info_is_default_threshold(self):
+        stream = _capture()
+        logger = log.get_logger("t")
+        logger.debug("hidden")
+        logger.info("shown")
+        out = stream.getvalue()
+        assert "hidden" not in out
+        assert "shown" in out
+
+    def test_debug_level_lets_debug_through(self):
+        stream = _capture()
+        log.configure(level="debug")
+        log.get_logger("t").debug("now_visible")
+        assert "now_visible" in stream.getvalue()
+
+    def test_error_level_suppresses_warning(self):
+        stream = _capture()
+        log.configure(level="error")
+        logger = log.get_logger("t")
+        logger.warning("quiet")
+        logger.error("loud")
+        out = stream.getvalue()
+        assert "quiet" not in out
+        assert "loud" in out
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            log.configure(level="loudest")
+
+
+class TestFormats:
+    def test_human_format_contains_fields(self):
+        stream = _capture()
+        log.get_logger("repro.test").info("batch_done", batch=8, ms=12.5)
+        line = stream.getvalue().strip()
+        assert "INFO" in line
+        assert "repro.test" in line
+        assert "batch_done" in line
+        assert "batch=8" in line
+        assert "ms=12.5" in line
+
+    def test_json_lines_parse_with_fields(self):
+        stream = _capture()
+        log.configure(json_mode=True)
+        log.get_logger("repro.test").warning("slow", latency_ms=99.0)
+        record = json.loads(stream.getvalue().strip())
+        assert record["level"] == "warning"
+        assert record["logger"] == "repro.test"
+        assert record["event"] == "slow"
+        assert record["latency_ms"] == 99.0
+        assert "ts" in record
+
+    def test_non_serializable_fields_stringified(self):
+        stream = _capture()
+        log.configure(json_mode=True)
+        log.get_logger("t").info("x", obj=object())
+        record = json.loads(stream.getvalue().strip())
+        assert isinstance(record["obj"], str)
+
+
+class TestRegistry:
+    def test_get_logger_is_cached(self):
+        assert log.get_logger("a") is log.get_logger("a")
+        assert log.get_logger("a") is not log.get_logger("b")
+
+
+class TestConsole:
+    def test_console_plain_in_human_mode(self):
+        out = io.StringIO()
+        log.configure(console_stream=out)
+        log.console("| table | row |")
+        assert out.getvalue() == "| table | row |\n"
+
+    def test_console_json_record_in_json_mode(self):
+        out = io.StringIO()
+        log.configure(json_mode=True, console_stream=out)
+        log.console("hello", "world")
+        record = json.loads(out.getvalue().strip())
+        assert record["event"] == "console"
+        assert record["text"] == "hello world"
+
+    def test_console_err_goes_to_diagnostic_stream(self):
+        out, err = io.StringIO(), io.StringIO()
+        log.configure(stream=err, console_stream=out)
+        log.console("oops", err=True)
+        assert out.getvalue() == ""
+        assert "oops" in err.getvalue()

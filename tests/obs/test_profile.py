@@ -1,0 +1,117 @@
+"""Profiler rollup tests: spans + engine records → per-layer phase report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import QuantizedInferenceEngine
+from repro.core.schemes import odq_scheme
+from repro.models.registry import build_model
+from repro.obs.profile import PHASES, ProfileReport, profile_inference
+from repro.obs.trace import Tracer
+
+
+def _traced_engine_run(images: int = 2):
+    """Calibrate a tiny LeNet/ODQ engine and trace one infer batch."""
+    rng = np.random.default_rng(0)
+    model = build_model("lenet", num_classes=10, rng=rng, in_channels=1,
+                        image_size=16)
+    engine = QuantizedInferenceEngine(model, odq_scheme(threshold=0.3))
+    x = rng.normal(0, 1, size=(images, 1, 16, 16))
+    engine.calibrate(np.abs(x))
+    from repro.obs import trace as trace_mod
+
+    tracer = trace_mod.get_tracer()
+    with tracer.collect(reset=True):
+        engine.infer(np.abs(x))
+        spans = tracer.spans()
+    return engine, spans
+
+
+class TestFromEngineSpans:
+    @pytest.fixture(scope="class")
+    def engine_spans(self):
+        return _traced_engine_run()
+
+    def test_all_phases_timed_per_layer(self, engine_spans):
+        engine, spans = engine_spans
+        report = ProfileReport.from_spans(spans, engine.records)
+        assert set(report.layers) == set(engine.records)
+        for layer in report.layers.values():
+            assert set(layer.phases) == set(PHASES)
+            for stat in layer.phases.values():
+                assert stat.calls == 1
+                assert stat.total_us > 0
+
+    def test_mac_census_matches_engine_records(self, engine_spans):
+        engine, spans = engine_spans
+        report = ProfileReport.from_spans(spans, engine.records)
+        for name, rec in engine.records.items():
+            layer = report.layers[name]
+            assert layer.macs_pred == rec.macs["pred_int2"]
+            assert layer.macs_exec == rec.macs["exec_int4"]
+            insens = rec.outputs_total - rec.sensitive_total
+            assert layer.macs_skipped == insens * rec.info.macs_per_output
+            assert layer.sensitive_ratio == pytest.approx(rec.sensitive_fraction)
+
+    def test_render_mentions_phases_and_macs(self, engine_spans):
+        engine, spans = engine_spans
+        text = ProfileReport.from_spans(spans, engine.records).render()
+        assert "predict_partial" in text
+        assert "full_result" in text
+        assert "MACs skipped" in text
+        assert "phase split" in text
+
+    def test_flame_render_contains_engine_tree(self, engine_spans):
+        _, spans = engine_spans
+        text = ProfileReport.from_spans(spans).render_flame()
+        assert "engine.infer" in text
+        assert "odq.run" in text
+
+
+class TestSyntheticSpans:
+    def test_counters_without_records(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("odq.run", layer="L1") as sp:
+            with tracer.span("odq.predict_partial", layer="L1"):
+                pass
+            sp.add("outputs", 10)
+            sp.add("sensitive", 4)
+            sp.add("macs_pred", 90)
+            sp.add("macs_exec", 36)
+            sp.add("macs_skipped", 54)
+        report = ProfileReport.from_spans(tracer.spans())
+        layer = report.layers["L1"]
+        assert layer.macs_pred == 90
+        assert layer.sensitive_ratio == pytest.approx(0.4)
+        assert layer.skip_ratio == pytest.approx(54 / 90)
+        assert "predict_partial" in layer.phases
+
+    def test_unrelated_spans_ignored(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("engine.infer", batch=1):
+            with tracer.span("accel.layer", layer="L1"):
+                pass
+        report = ProfileReport.from_spans(tracer.spans())
+        assert report.layers == {}
+
+    def test_empty_report_renders_placeholder(self):
+        assert "no layer phases" in ProfileReport.from_spans([]).render()
+
+
+class TestProfileInference:
+    def test_end_to_end_driver(self):
+        result = profile_inference("lenet", "odq", images=2, batches=2,
+                                   calib_images=8)
+        assert result.batches == 2
+        assert result.images == 2
+        assert result.report.layers  # per-layer rows present
+        assert result.infer_seconds > 0
+        text = result.render()
+        assert "model=lenet" in text
+        assert "predict_partial" in text
+        # Driver restores the tracer's disabled state.
+        from repro.obs import trace as trace_mod
+
+        assert not trace_mod.enabled()

@@ -1,0 +1,198 @@
+"""Span tracer unit tests: nesting, thread-locality, disabled fast path."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import NOOP_SPAN, Tracer
+
+
+@pytest.fixture()
+def tracer() -> Tracer:
+    return Tracer(enabled=True)
+
+
+class TestNesting:
+    def test_parent_child_ids_and_depth(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grand"):
+                    pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["root"].parent_id is None
+        assert spans["root"].depth == 0
+        assert spans["child"].parent_id == spans["root"].span_id
+        assert spans["child"].depth == 1
+        assert spans["grand"].parent_id == spans["child"].span_id
+        assert spans["grand"].depth == 2
+        assert root.span_id != child.span_id
+
+    def test_completion_order_is_child_first(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.spans()] == ["inner", "outer"]
+
+    def test_durations_nested_within_parent(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()
+        assert inner.duration_us <= outer.duration_us
+        assert inner.start_us >= outer.start_us
+        assert inner.end_us <= outer.end_us + 1.0  # float-rounding slack
+
+    def test_sibling_spans_share_parent(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["a"].parent_id == spans["root"].span_id
+        assert spans["b"].parent_id == spans["root"].span_id
+
+    def test_exception_is_annotated_and_propagates(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        (span,) = tracer.spans()
+        assert span.attrs["error"] == "RuntimeError"
+
+
+class TestAttrsAndCounters:
+    def test_attrs_and_counters_recorded(self, tracer):
+        with tracer.span("work", layer="C1") as sp:
+            sp.add("macs", 100)
+            sp.add("macs", 50)
+            sp.set(batch=4)
+        (span,) = tracer.spans()
+        assert span.attrs == {"layer": "C1", "batch": 4}
+        assert span.counters == {"macs": 150}
+
+    def test_decorator_records_qualname(self, tracer):
+        @tracer.traced()
+        def compute():
+            return 42
+
+        assert compute() == 42
+        (span,) = tracer.spans()
+        assert "compute" in span.name
+
+    def test_decorator_with_explicit_name(self, tracer):
+        @tracer.traced("custom.name", kind="test")
+        def f():
+            return 1
+
+        f()
+        (span,) = tracer.spans()
+        assert span.name == "custom.name"
+        assert span.attrs == {"kind": "test"}
+
+
+class TestThreadLocality:
+    def test_threads_get_independent_stacks(self, tracer):
+        barrier = threading.Barrier(2)
+
+        def worker(tag: str):
+            with tracer.span(f"root-{tag}"):
+                barrier.wait(timeout=5)  # both roots open simultaneously
+                with tracer.span(f"child-{tag}"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in "ab"]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = {s.name: s for s in tracer.spans()}
+        assert len(spans) == 4
+        # Each child's parent is its own thread's root, never the other's.
+        assert spans["child-a"].parent_id == spans["root-a"].span_id
+        assert spans["child-b"].parent_id == spans["root-b"].span_id
+        assert spans["child-a"].thread_id != spans["child-b"].thread_id
+
+
+class TestDisabledFastPath:
+    def test_disabled_returns_shared_noop_singleton(self):
+        tracer = Tracer(enabled=False)
+        s1 = tracer.span("a", layer="x")
+        s2 = tracer.span("b")
+        assert s1 is NOOP_SPAN and s2 is NOOP_SPAN
+
+    def test_noop_span_accepts_full_api(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("a") as sp:
+            sp.add("macs", 1)
+            sp.set(layer="x")
+        assert len(tracer) == 0
+
+    def test_module_level_disabled_is_noop(self):
+        trace.disable()
+        assert trace.span("x") is NOOP_SPAN
+        assert not trace.enabled()
+
+    def test_decorator_disabled_calls_through(self):
+        tracer = Tracer(enabled=False)
+
+        @tracer.traced("x")
+        def f():
+            return "ok"
+
+        assert f() == "ok"
+        assert len(tracer) == 0
+
+
+class TestLifecycle:
+    def test_collect_restores_previous_state(self):
+        tracer = Tracer(enabled=False)
+        with tracer.collect() as t:
+            assert t.enabled
+            with t.span("inside"):
+                pass
+        assert not tracer.enabled
+        assert [s.name for s in tracer.spans()] == ["inside"]
+
+    def test_collect_resets_prior_spans(self, tracer):
+        with tracer.span("old"):
+            pass
+        with tracer.collect():
+            with tracer.span("new"):
+                pass
+        assert [s.name for s in tracer.spans()] == ["new"]
+
+    def test_bounded_buffer_counts_drops(self):
+        tracer = Tracer(enabled=True, max_spans=2)
+        for i in range(4):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer) == 2
+        assert tracer.dropped == 2
+        assert [s.name for s in tracer.spans()] == ["s2", "s3"]
+
+    def test_reset_clears_spans_and_drops(self, tracer):
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+    def test_current_returns_innermost(self, tracer):
+        assert tracer.current() is NOOP_SPAN
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+
+    def test_record_as_dict_is_json_safe(self, tracer):
+        import json
+
+        with tracer.span("x", layer="L") as sp:
+            sp.add("n", 1)
+        (span,) = tracer.spans()
+        parsed = json.loads(json.dumps(span.as_dict()))
+        assert parsed["name"] == "x"
+        assert parsed["attrs"] == {"layer": "L"}
+        assert parsed["counters"] == {"n": 1}

@@ -1,0 +1,108 @@
+"""Histogram edge-case regressions and Prometheus rendering via the registry.
+
+The Histogram implementation moved to ``repro.obs.hist``; serve re-exports
+it. These tests pin the edge behaviour the move fixed: empty and
+single-sample reservoirs must return finite numbers (no IndexError, no
+NaN), NaN observations must not poison percentiles, and a zero-size
+reservoir must stay harmless.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import hist as obs_hist
+from repro.serve.metrics import Histogram, MetricsRegistry
+
+
+class TestHistogramIsShared:
+    def test_serve_reuses_obs_histogram(self):
+        # Satellite requirement: one implementation, re-exported — not a copy.
+        assert Histogram is obs_hist.Histogram
+
+    def test_default_reservoir_exported(self):
+        assert obs_hist.DEFAULT_RESERVOIR > 0
+
+
+class TestPercentileEdges:
+    def test_empty_histogram_percentile_is_zero_not_nan(self):
+        h = Histogram("lat")
+        for p in (0, 50, 95, 99, 100):
+            value = h.percentile(p)
+            assert value == 0.0
+            assert not math.isnan(value)
+
+    def test_single_sample_returns_that_sample_for_all_p(self):
+        h = Histogram("lat")
+        h.observe(7.5)
+        for p in (0, 1, 50, 99, 100):
+            assert h.percentile(p) == 7.5
+
+    def test_p0_and_p100_are_min_and_max(self):
+        h = Histogram("lat")
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 3.0
+
+    def test_out_of_range_p_raises(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+        with pytest.raises(ValueError):
+            h.percentile(100.1)
+
+
+class TestNanHandling:
+    def test_nan_observations_are_dropped(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        h.observe(float("nan"))
+        h.observe(3.0)
+        assert h.dropped_nan == 1
+        for p in (0, 50, 100):
+            assert not math.isnan(h.percentile(p))
+        assert h.percentile(100) == 3.0
+
+    def test_all_nan_stream_summarizes_as_empty(self):
+        h = Histogram("lat")
+        h.observe(float("nan"))
+        h.observe(float("nan"))
+        s = h.summary()
+        assert s["count"] == 0
+        assert s["p50"] == 0.0
+        assert not any(math.isnan(v) for v in s.values())
+
+
+class TestDegenerateReservoir:
+    def test_zero_reservoir_never_raises(self):
+        h = Histogram("lat", reservoir=0)
+        h.observe(1.0)
+        h.observe(2.0)
+        assert h.percentile(50) == 0.0  # nothing retained, still finite
+
+    def test_summary_keys_stable_when_empty(self):
+        s = Histogram("lat", reservoir=0).summary()
+        assert {"count", "sum", "mean", "min", "max", "p50", "p95",
+                "p99"} <= set(s)
+
+
+class TestRegistryPrometheus:
+    def test_prometheus_render_from_registry(self):
+        m = MetricsRegistry()
+        m.counter("requests_total").inc(5)
+        m.gauge("sensitive_ratio:C1:conv").set(0.125)
+        m.histogram("e2e_ms").observe(2.0)
+        text = m.prometheus()
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 5" in text
+        assert 'repro_sensitive_ratio{layer="C1:conv"} 0.125' in text
+        assert "repro_e2e_ms_count 1" in text
+
+    def test_prometheus_namespace_override(self):
+        m = MetricsRegistry()
+        m.counter("hits").inc()
+        assert "odq_hits_total 1" in m.prometheus(namespace="odq")
