@@ -98,6 +98,7 @@ def _cmd_profile(args) -> int:
         batches=args.batches,
         calib_images=args.calib_images,
         train_epochs=args.train_epochs,
+        exec_path=args.exec_path,
     )
     console(result.render())
     if args.flame:
@@ -131,6 +132,7 @@ def _serve_config_from_args(args) -> "ServeConfig":  # noqa: F821 — lazy impor
         dataset=args.dataset,
         train_epochs=args.train_epochs,
         calib_images=args.calib_images,
+        exec_path=args.exec_path,
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         workers=args.workers,
@@ -150,6 +152,10 @@ def _add_serve_options(parser: argparse.ArgumentParser) -> None:
                         help="warm-up training epochs at session build (0 = none)")
     parser.add_argument("--calib-images", type=int, default=64,
                         help="calibration images per session")
+    parser.add_argument("--exec-path", choices=["auto", "dense", "sparse"],
+                        default="auto",
+                        help="ODQ result-generation path (auto picks per "
+                             "layer call from the sensitive-row fraction)")
     parser.add_argument("--max-batch-size", type=int, default=8,
                         help="micro-batch coalescing cap (images)")
     parser.add_argument("--max-wait-ms", type=float, default=2.0,
@@ -258,6 +264,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="calibration images for the session build")
     p_prof.add_argument("--train-epochs", type=int, default=0,
                         help="warm-up training epochs before profiling")
+    p_prof.add_argument("--exec-path", choices=["auto", "dense", "sparse"],
+                        default="auto",
+                        help="ODQ result-generation path (auto|dense|sparse)")
     p_prof.add_argument("--flame", action="store_true",
                         help="also print the aggregated ASCII call tree")
 

@@ -1,0 +1,269 @@
+"""Per-call quantized column cache + freeze-time packed GEMM operands.
+
+Before this module existed, the ODQ executor's two steps each redid the
+same preparation: ``predict_partial`` quantized, padded and bit-split the
+input to convolve the high planes, then ``full_result`` quantized, padded
+and im2col'ed the *same* input again for the dense INT4 accumulate.  The
+paper's accelerator does that work exactly once — the Im2col/Pack engine
+(Fig. 12/17) unfolds and packs each input tile into the line buffers, and
+both the predictor and executor PE clusters read from there.
+
+:class:`ColumnCache` is the software twin: one ``quantize -> pad ->
+im2col`` per layer call, with the bit-plane column matrices derived
+lazily so a predictor-only caller (threshold search, mask dumps, the
+sparse executor at low sensitivity) never pays for columns it does not
+read.  :class:`PackedConvWeights` is the freeze-time counterpart: the
+filter bank reshaped into GEMM operands once, including the *cross-term*
+matrix ``wmat_rest`` that lets the executor compute the three remaining
+Eq.-3 terms in a single GEMM.
+
+The cross-term algebra
+----------------------
+With ``q = (q_h << n) + q_l`` and ``qw = (w_h << n) + w_l`` (both merge
+identities exact, see :mod:`repro.utils.bitops`), the work the executor
+owes on top of the predictor's ``(q_h * w_h) << 2n`` is::
+
+    q*qw - (q_h*w_h) << 2n  =  (q_h*w_l) << n + (q_l*w_h) << n + q_l*w_l
+                            =  q * w_l  +  q_l * (w_h << n)
+
+(substitute ``q_h << n = q - q_l`` and expand).  Stacking the operands
+turns that into one GEMM::
+
+    rest = [cols_full | cols_low] @ [[wmat_low], [wmat_high << n]]
+         = cols_rest @ wmat_rest
+
+which is exactly ``acc - (hh << 2n)`` element-for-element, so
+``full = partial_int + cols_rest @ wmat_rest`` is *bit-exact* against the
+dense accumulate (every partial product of sub-16-bit integers summed
+over a receptive field stays far below 2**53, so the float64 GEMM is
+exact regardless of summation order — same argument as
+:func:`repro.core.base.int_conv2d`).
+
+For the sparse result-generation path, :meth:`ColumnCache.rest_rows`
+gathers only the flagged rows via :func:`repro.utils.im2col.im2col_rows`
+without ever materialising the dense column matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.bitsplit import split_planes
+from repro.quant.uniform import QParams, quantize
+from repro.utils.im2col import conv_output_size, im2col, im2col_rows, pad_nchw
+
+
+@dataclass(frozen=True)
+class PackedConvWeights:
+    """Freeze-time GEMM operands of one quantized filter bank.
+
+    All matrices are float64 ``(C_in*K*K, C_out)`` (``wmat_rest`` is
+    ``(2*C_in*K*K, C_out)``) holding exact integer values, ready to be
+    multiplied against :class:`ColumnCache` column matrices without any
+    per-call reshape/astype work.
+    """
+
+    wmat_full: np.ndarray   #: full INT-q weights, GEMM layout
+    wmat_high: np.ndarray   #: W_HBS plane (predictor operand)
+    wmat_rest: np.ndarray   #: stacked [w_low; w_high << n] cross-term operand
+    w_sum: np.ndarray       #: per-channel sum(qw), shape (1, C_out) float64
+    low_bits: int
+    c_out: int
+
+    @property
+    def high_shift(self) -> int:
+        """Left shift of the predictor partial product: ``2 * low_bits``."""
+        return 2 * self.low_bits
+
+
+def pack_conv_weights(
+    qw: np.ndarray, qp_w: QParams, low_bits: int
+) -> PackedConvWeights:
+    """Pack quantized weights ``qw`` (C_out, C_in, K, K) for the GEMM paths."""
+    c_out = qw.shape[0]
+    planes = split_planes(qw, qp_w, low_bits)
+    wmat_full = qw.reshape(c_out, -1).T.astype(np.float64)
+    wmat_high = planes.high.reshape(c_out, -1).T.astype(np.float64)
+    wmat_low = planes.low.reshape(c_out, -1).T.astype(np.float64)
+    # rest = q * w_l + q_l * (w_h << n): stack the two operands vertically
+    # to match ColumnCache.rest_* hstacking [cols_full | cols_low].
+    wmat_rest = np.vstack([wmat_low, wmat_high * float(1 << low_bits)])
+    w_sum = qw.sum(axis=(1, 2, 3)).reshape(1, -1).astype(np.float64)
+    return PackedConvWeights(
+        wmat_full=np.ascontiguousarray(wmat_full),
+        wmat_high=np.ascontiguousarray(wmat_high),
+        wmat_rest=np.ascontiguousarray(wmat_rest),
+        w_sum=w_sum,
+        low_bits=low_bits,
+        c_out=c_out,
+    )
+
+
+class ColumnCache:
+    """One layer call's quantize/pad/im2col work, done exactly once.
+
+    Parameters mirror the executing conv layer; ``compensate_low_bits``
+    controls whether the expected low-plane activation value ``E[q_l]``
+    is measured (on the *unpadded* quantized input, matching the
+    historical predictor semantics).
+
+    Laziness contract
+    -----------------
+    Construction quantizes, pads and bit-splits — all elementwise, and
+    the single split serves both the predictor plane and the ``e_low``
+    measurement.  Column matrices materialise on first access:
+
+    ``cols_high``   predictor operand, needed by every caller;
+    ``cols``        dense INT-q columns, needed only by the dense path;
+    ``cols_low``    derived as ``cols - (cols_high << n)`` (exact by the
+                    merge identity) when ``cols`` already exists, else
+                    gathered per row.
+
+    ``rest_rows(idx)`` never touches ``cols`` unless it was already
+    built: it gathers the selected receptive fields straight from the
+    padded tensors, which is what makes the sparse executor cheaper than
+    the dense one at low sensitive-row density.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        qp_a: QParams,
+        kernel: int,
+        stride: int,
+        padding: int,
+        low_bits: int,
+        compensate_low_bits: bool = True,
+    ):
+        self.qp_a = qp_a
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.low_bits = low_bits
+
+        q = quantize(x, qp_a)
+        if padding:
+            # Pad with the zero point (real 0) *before* the plane split so
+            # the predictor sees the same border values the executor does.
+            q = pad_nchw(q, padding, value=qp_a.zero_point)
+        self.q_pad = q
+
+        self._q_high_pad: np.ndarray | None = None
+        if compensate_low_bits:
+            # One split serves both consumers: the high plane is the
+            # predictor operand, and E[q_l] is the mean of the low plane's
+            # *interior* (split_planes is elementwise, so the interior of
+            # the padded split equals the split of the unpadded input).
+            planes = split_planes(q, qp_a, low_bits)
+            self._q_high_pad = planes.high
+            low = planes.low
+            if padding:
+                low = low[:, :, padding:-padding, padding:-padding]
+            self.e_low = float(low.mean())
+        else:
+            self.e_low = 0.0
+
+        self.n = x.shape[0]
+        self.oh = conv_output_size(x.shape[2], kernel, stride, padding)
+        self.ow = conv_output_size(x.shape[3], kernel, stride, padding)
+        self.rows = self.n * self.oh * self.ow
+
+        self._cols: np.ndarray | None = None
+        self._cols_high: np.ndarray | None = None
+        self._cols_low: np.ndarray | None = None
+
+    @property
+    def q_high_pad(self) -> np.ndarray:
+        """High (predictor) bit plane of the padded quantized input."""
+        if self._q_high_pad is None:
+            self._q_high_pad = split_planes(
+                self.q_pad, self.qp_a, self.low_bits
+            ).high
+        return self._q_high_pad
+
+    # -- dense column matrices (lazy) ---------------------------------------
+
+    @property
+    def cols(self) -> np.ndarray:
+        """Dense float64 columns of the full quantized input."""
+        if self._cols is None:
+            self._cols = im2col(
+                self.q_pad.astype(np.float64), self.kernel, self.stride, 0
+            )
+        return self._cols
+
+    @property
+    def cols_high(self) -> np.ndarray:
+        """Dense float64 columns of the high (predictor) plane."""
+        if self._cols_high is None:
+            self._cols_high = im2col(
+                self.q_high_pad.astype(np.float64), self.kernel, self.stride, 0
+            )
+        return self._cols_high
+
+    @property
+    def cols_low(self) -> np.ndarray:
+        """Dense low-plane columns, derived from the merge identity."""
+        if self._cols_low is None:
+            self._cols_low = self.cols - self.cols_high * float(1 << self.low_bits)
+        return self._cols_low
+
+    def rest_cols(self) -> np.ndarray:
+        """Dense cross-term operand ``[cols_full | cols_low]``."""
+        return np.hstack([self.cols, self.cols_low])
+
+    # -- sparse row gathering -----------------------------------------------
+
+    def full_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Full-quantized columns for selected rows only.
+
+        Equals ``self.cols[rows]`` bit-for-bit; when the dense matrix was
+        never built, only the ``len(rows)`` receptive fields are gathered.
+        This is the sparse executor's hot-path operand: one gather + one
+        GEMM against ``wmat_full`` reproduces the dense accumulate at the
+        selected rows exactly (a float64 GEMM has no low-bit discount, so
+        the 1x-width full operand beats the 2x-width cross-term operand
+        ``rest_rows`` row-for-row — the latter exists because it is what
+        the paper's executor clusters physically compute).
+        """
+        if self._cols is not None:
+            return self._cols[rows]
+        return im2col_rows(
+            self.q_pad.astype(np.float64), self.kernel, self.stride, rows
+        )
+
+    def rest_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Cross-term operand for selected rows only.
+
+        Equals ``self.rest_cols()[rows]`` bit-for-bit, but when the dense
+        matrices were never built it gathers the ``len(rows)`` receptive
+        fields directly from the padded tensors (no dense materialisation).
+        """
+        if self._cols is not None:
+            full = self._cols[rows]
+            low = (
+                self._cols_low[rows]
+                if self._cols_low is not None
+                else full - self.cols_high[rows] * float(1 << self.low_bits)
+            )
+            return np.hstack([full, low])
+        full = im2col_rows(
+            self.q_pad.astype(np.float64), self.kernel, self.stride, rows
+        )
+        high = im2col_rows(
+            self.q_high_pad.astype(np.float64), self.kernel, self.stride, rows
+        )
+        return np.hstack([full, full - high * float(1 << self.low_bits)])
+
+    # -- layout helpers ------------------------------------------------------
+
+    def to_nchw(self, mat2d: np.ndarray) -> np.ndarray:
+        """Reshape a ``(rows, C_out)`` GEMM result into NCHW."""
+        return (
+            mat2d.reshape(self.n, self.oh, self.ow, -1).transpose(0, 3, 1, 2)
+        )
+
+
+__all__ = ["PackedConvWeights", "pack_conv_weights", "ColumnCache"]

@@ -26,6 +26,7 @@ from repro.core.masks import SensitivityMask
 from repro.nn.layers import Conv2d
 from repro.quant.observer import MinMaxObserver, Observer
 from repro.quant.uniform import QParams, fake_quantize, quantize, symmetric_qparams
+from repro.utils.im2col import im2col
 
 
 def region_mean_magnitude(x: np.ndarray, region: int) -> np.ndarray:
@@ -161,12 +162,23 @@ class DRQConvExecutor(ConvExecutor):
             out = out + self.conv.bias.data.reshape(1, -1, 1, 1)
         return out
 
-    def _mac_split(self, mask: np.ndarray) -> tuple[int, int]:
-        """(hi, lo) MAC counts implied by a per-pixel input mask."""
+    def _mac_split(
+        self, mask: np.ndarray, mask_cols: np.ndarray | None = None
+    ) -> tuple[int, int]:
+        """(hi, lo) MAC counts implied by a per-pixel input mask.
+
+        The count of sensitive input pixels per output window is a
+        convolution of the mask with an all-ones kernel — i.e. the row
+        sums of the mask's im2col matrix.  Callers holding the column
+        matrix already (see :meth:`run`) pass it via ``mask_cols`` and
+        the conv collapses to one vectorized ``sum``; this is the DRQ
+        side of the shared column-cache machinery
+        (:mod:`repro.core.colcache`).
+        """
         k, s, p = self.info.kernel_size, self.info.stride, self.info.padding
-        ones = np.ones((1, 1, k, k))
-        hi_per_pos = float_conv2d(mask.astype(np.float64), ones, None, s, p)
-        hi_pixels = float(hi_per_pos.sum())  # sensitive input pixels over all windows
+        if mask_cols is None:
+            mask_cols = im2col(mask.astype(np.float64), k, s, p)
+        hi_pixels = float(mask_cols.sum())  # sensitive input pixels over all windows
         total = self.record.out_h * self.record.out_w * mask.shape[0] * k * k
         hi = int(round(hi_pixels)) * self.info.in_channels * self.info.out_channels
         total_macs = total * self.info.in_channels * self.info.out_channels

@@ -18,6 +18,33 @@ sensitive output equals a full INT4 static-quantization conv, and the
 value for an insensitive output equals the HBS-only partial — tests
 verify both identities term-by-term against
 :func:`repro.quant.bitsplit.cross_terms`.
+
+Execution paths
+---------------
+Historically the software executor computed the dense full-INT4 result
+for *every* output and ``np.where``-selected, so the ``macs_skipped``
+the obs profile reports never became wall-clock savings.  The executor
+now mirrors the paper's hardware dataflow (and DRQ's region-wise
+executor): all per-call preparation is done once in a
+:class:`~repro.core.colcache.ColumnCache`, and result generation picks
+between
+
+``dense``
+    one GEMM of the full column matrix (wins when most outputs are
+    sensitive — the gather/scatter overhead is not worth it);
+``sparse``
+    gather only the *sensitive rows* of the column matrix (rows whose
+    spatial position has at least one sensitive output channel), one
+    GEMM against the packed full operand, scatter the exact rows into
+    the predictor partial — bit-exact with the dense path.  The
+    hardware's executor clusters compute the same integers as the three
+    remaining Eq.-3 cross terms against ``wmat_rest`` (see
+    :mod:`repro.core.colcache` for the algebra and exactness argument);
+    in software the 1x-width full operand wins, so that is the hot path;
+``auto``
+    per layer-call dispatch on the sensitive-row density against
+    :data:`SPARSE_ROW_CROSSOVER` (measured in
+    ``benchmarks/bench_odq_sparse.py``).
 """
 
 from __future__ import annotations
@@ -25,14 +52,26 @@ from __future__ import annotations
 import numpy as np
 
 from repro.config import ODQ_LOW_BITS, ODQ_TOTAL_BITS
-from repro.core.base import ConvExecutor, int_conv2d
+from repro.core.base import ConvExecutor
+from repro.core.colcache import ColumnCache, PackedConvWeights, pack_conv_weights
 from repro.core.masks import SensitivityMask, mask_from_magnitude
 from repro.obs import trace
 from repro.nn.layers import Conv2d
-from repro.quant.bitsplit import split_planes
 from repro.quant.observer import MinMaxObserver, Observer
 from repro.quant.uniform import QParams, affine_qparams, quantize, symmetric_qparams
-from repro.utils.im2col import pad_nchw
+
+#: Result-generation paths accepted by the executor / scheme / CLI knob.
+EXEC_PATHS = ("auto", "dense", "sparse")
+
+#: ``auto`` dispatch crossover: fraction of output *rows* (spatial
+#: positions with >= 1 sensitive channel) below which the sparse
+#: gather/GEMM/scatter beats the dense GEMM.  Pure FLOPs break even at
+#: 1.0 (the sparse GEMM uses the same full operand, just fewer rows);
+#: the gather's patch-copy and the scatter pull the measured crossover
+#: down only slightly — benchmarks/bench_odq_sparse.py measures ~0.9 on
+#: resnet20/cifar10 at default scale, so only near-saturated masks go
+#: dense.
+SPARSE_ROW_CROSSOVER = 0.9
 
 
 def odq_weight_qparams(
@@ -58,6 +97,52 @@ def odq_weight_qparams(
     return symmetric_qparams(max(scale_src, 1e-8), total_bits)
 
 
+def _partial_2d(cache: ColumnCache, packed: PackedConvWeights,
+                scale: float) -> tuple[np.ndarray, np.ndarray]:
+    """(dequantized predictor partial, raw HH GEMM) in (rows, C_out) layout.
+
+    The HH GEMM result holds exact integer values in float64 (see
+    :mod:`repro.core.colcache`); it is returned so the sparse path can
+    reassemble the full integer accumulate without recomputing it.
+    """
+    hh2d = cache.cols_high @ packed.wmat_high
+    partial2d = scale * (
+        hh2d * float(1 << packed.high_shift)
+        + (cache.e_low - cache.qp_a.zero_point) * packed.w_sum
+    )
+    return partial2d, hh2d
+
+
+def _dense_full_2d(cache: ColumnCache, packed: PackedConvWeights,
+                   scale: float) -> np.ndarray:
+    """Exact INT4 static-quantization output, dense GEMM, (rows, C_out)."""
+    acc2d = cache.cols @ packed.wmat_full
+    return scale * (acc2d - cache.qp_a.zero_point * packed.w_sum)
+
+
+def _sparse_full_rows(
+    cache: ColumnCache,
+    packed: PackedConvWeights,
+    scale: float,
+    sel: np.ndarray,
+) -> np.ndarray:
+    """Exact full output for the selected rows only, ``(len(sel), C_out)``.
+
+    One gather + one GEMM against the full packed operand — literally
+    :func:`_dense_full_2d` restricted to the selected rows, so the result
+    is bit-exact by construction.  The hardware-faithful alternative
+    (reuse the predictor's HH term, one GEMM against the cross-term
+    operand ``wmat_rest``) computes the same integers but needs a
+    2x-wide operand and a second gather; a float64 GEMM gives no low-bit
+    discount, so the full-operand form wins row-for-row (the cross-term
+    machinery lives on in :mod:`repro.core.colcache` — it is what the
+    paper's executor clusters physically compute, and the tests pin its
+    algebra against this path).
+    """
+    acc_rows = cache.full_rows(sel) @ packed.wmat_full
+    return scale * (acc_rows - cache.qp_a.zero_point * packed.w_sum)
+
+
 def odq_mixed_conv(
     x: np.ndarray,
     weight: np.ndarray,
@@ -69,6 +154,8 @@ def odq_mixed_conv(
     qp_w: QParams,
     low_bits: int = ODQ_LOW_BITS,
     compensate_low_bits: bool = True,
+    exec_path: str = "dense",
+    with_cache: bool = False,
 ) -> dict:
     """The ODQ two-step forward pass as a pure function.
 
@@ -84,32 +171,68 @@ def odq_mixed_conv(
     low two bits, whose mean is positive, so the raw partial consistently
     underestimates output magnitude; the correction roughly halves the
     predictor's miss rate (measured in tests/core/test_odq.py).
+
+    ``exec_path`` selects result generation (see module docstring).  The
+    default ``"dense"`` always materialises the dense ``"full"`` array
+    (the QAT layer reads its statistics); under ``"sparse"``/``"auto"``
+    the full result is only computed at sensitive rows, ``out`` is still
+    exact, and ``"full"`` is ``None`` whenever the sparse path ran.
+
+    ``with_cache`` additionally returns the per-call
+    :class:`~repro.core.colcache.ColumnCache` under ``"cache"`` so
+    callers (the QAT backward pass) can reuse the column matrix instead
+    of re-unfolding the input.
     """
-    q = quantize(x, qp_a)
+    if exec_path not in EXEC_PATHS:
+        raise ValueError(f"unknown exec_path {exec_path!r}; expected one of {EXEC_PATHS}")
     qw = quantize(weight, qp_w)
-    w_sum = qw.sum(axis=(1, 2, 3)).reshape(1, -1, 1, 1)
-    qw_high = split_planes(qw, qp_w, low_bits).high
-
-    e_low = (
-        float(split_planes(q, qp_a, low_bits).low.mean())
-        if compensate_low_bits
-        else 0.0
-    )
-    if padding:
-        q = pad_nchw(q, padding, value=qp_a.zero_point).astype(np.int64)
-    q_high = split_planes(q, qp_a, low_bits).high
-
+    packed = pack_conv_weights(qw, qp_w, low_bits)
+    kernel = weight.shape[2]
+    cache = ColumnCache(x, qp_a, kernel, stride, padding, low_bits,
+                        compensate_low_bits)
     scale = qp_a.scale * qp_w.scale
-    hh = int_conv2d(q_high, qw_high, stride, 0)
-    partial = scale * ((hh << (2 * low_bits)) + (e_low - qp_a.zero_point) * w_sum)
-    acc = int_conv2d(q, qw, stride, 0)
-    full = scale * (acc - qp_a.zero_point * w_sum)
-    if bias is not None:
-        partial = partial + bias.reshape(1, -1, 1, 1)
-        full = full + bias.reshape(1, -1, 1, 1)
+    bias2d = None if bias is None else bias.reshape(1, -1)
+
+    partial2d, hh2d = _partial_2d(cache, packed, scale)
+    if bias2d is not None:
+        partial2d = partial2d + bias2d
+    partial = cache.to_nchw(partial2d)
     mask = mask_from_magnitude(partial, threshold)
-    out = np.where(mask.mask, full, partial)
-    return {"out": out, "mask": mask, "partial": partial, "full": full}
+
+    any_rows = mask.mask.any(axis=1).reshape(-1)
+    n_sense_rows = int(np.count_nonzero(any_rows))
+    path = exec_path
+    if path == "auto":
+        path = ("sparse"
+                if n_sense_rows <= SPARSE_ROW_CROSSOVER * cache.rows
+                else "dense")
+
+    if path == "dense":
+        full2d = _dense_full_2d(cache, packed, scale)
+        if bias2d is not None:
+            full2d = full2d + bias2d
+        full = cache.to_nchw(full2d)
+        out = np.where(mask.mask, full, partial)
+    else:
+        out2d = partial2d.copy()
+        sel = np.flatnonzero(any_rows)
+        if sel.size:
+            full_rows = _sparse_full_rows(cache, packed, scale, sel)
+            if bias2d is not None:
+                full_rows = full_rows + bias2d
+            ni, rem = np.divmod(sel, cache.oh * cache.ow)
+            oi, oj = np.divmod(rem, cache.ow)
+            mask_rows = mask.mask[ni, :, oi, oj]
+            out2d[sel] = np.where(mask_rows, full_rows, out2d[sel])
+        full = None
+        out = cache.to_nchw(out2d)
+
+    result = {"out": out, "mask": mask, "partial": partial, "full": full,
+              "exec_path": path}
+    if with_cache:
+        result["cache"] = cache
+        result["packed"] = packed
+    return result
 
 
 class ODQConvExecutor(ConvExecutor):
@@ -128,6 +251,13 @@ class ODQConvExecutor(ConvExecutor):
         the adaptive search that chooses it.
     total_bits / low_bits:
         Operand width and low-plane width; the paper's instance is 4/2.
+    exec_path:
+        Result-generation path: ``"auto"`` (default; per-call dispatch on
+        sensitive-row density), ``"dense"``, or ``"sparse"``.  All three
+        are bit-exact; only wall-clock differs.
+    sparse_crossover:
+        ``auto`` picks the sparse path when the fraction of output rows
+        containing at least one sensitive channel is at or below this.
     """
 
     def __init__(
@@ -144,6 +274,8 @@ class ODQConvExecutor(ConvExecutor):
         dynamic_act: bool = True,
         compensate_low_bits: bool = True,
         threshold_mode: str = "absolute",
+        exec_path: str = "auto",
+        sparse_crossover: float = SPARSE_ROW_CROSSOVER,
     ):
         super().__init__(conv, name)
         self.collect_partials = collect_partials
@@ -151,6 +283,12 @@ class ODQConvExecutor(ConvExecutor):
             raise ValueError("threshold must be non-negative")
         if not 0 < low_bits < total_bits:
             raise ValueError("need 0 < low_bits < total_bits")
+        if exec_path not in EXEC_PATHS:
+            raise ValueError(
+                f"unknown exec_path {exec_path!r}; expected one of {EXEC_PATHS}"
+            )
+        if not 0.0 <= sparse_crossover <= 1.0:
+            raise ValueError("sparse_crossover must be in [0, 1]")
         self.threshold = threshold
         self.total_bits = total_bits
         self.low_bits = low_bits
@@ -163,6 +301,9 @@ class ODQConvExecutor(ConvExecutor):
         #: Per-channel E[q_l]*sum(qw) correction of the predictor partial
         #: (see odq_mixed_conv); disable to get the raw Eq.-3 HH term.
         self.compensate_low_bits = compensate_low_bits
+        #: Result-generation path knob (``auto|dense|sparse``).
+        self.exec_path = exec_path
+        self.sparse_crossover = sparse_crossover
         #: "absolute": compare |partial| against ``threshold`` directly
         #: (the paper's rule; meaningful when layer output scales are
         #: uniform, as DoReFa training makes them).  "scaled": compare
@@ -181,6 +322,7 @@ class ODQConvExecutor(ConvExecutor):
         self._qw: np.ndarray | None = None       # full INT4 weights
         self._qw_high: np.ndarray | None = None  # W_HBS plane
         self._w_sum: np.ndarray | None = None    # zero-point correction
+        self._packed: PackedConvWeights | None = None  # GEMM operands
 
     # -- calibration -------------------------------------------------------------
 
@@ -199,8 +341,9 @@ class ODQConvExecutor(ConvExecutor):
         if not self.dynamic_act:
             self.qp_a = self.observer.qparams(self.total_bits, signed=False)
         self._qw = quantize(w, self.qp_w)
-        planes = split_planes(self._qw, self.qp_w, self.low_bits)
-        self._qw_high = planes.high
+        self._packed = pack_conv_weights(self._qw, self.qp_w, self.low_bits)
+        # Tensor-shaped twins kept for introspection and the mask dumps.
+        self._qw_high = self._packed.wmat_high.T.reshape(self._qw.shape).astype(np.int64)
         self._w_sum = self._qw.sum(axis=(1, 2, 3)).reshape(1, -1, 1, 1)
         super().freeze()
 
@@ -218,6 +361,42 @@ class ODQConvExecutor(ConvExecutor):
             return self.threshold * sigma
         return self.threshold
 
+    # -- shared per-call preparation --------------------------------------------
+
+    def _build_cache(self, x: np.ndarray,
+                     compensate: bool | None = None) -> ColumnCache:
+        """Quantize → pad → im2col exactly once for this layer call."""
+        return ColumnCache(
+            x,
+            self._qp_a_for(x),
+            self.conv.kernel_size,
+            self.conv.stride,
+            self.conv.padding,
+            self.low_bits,
+            self.compensate_low_bits if compensate is None else compensate,
+        )
+
+    def _scale(self, cache: ColumnCache) -> float:
+        return cache.qp_a.scale * self.qp_w.scale
+
+    def _bias2d(self) -> np.ndarray | None:
+        return None if self.conv.bias is None else self.conv.bias.data.reshape(1, -1)
+
+    def _partial_pair(self, cache: ColumnCache) -> tuple[np.ndarray, np.ndarray]:
+        """(partial2d with bias, raw hh2d) — the predictor step on a cache."""
+        partial2d, hh2d = _partial_2d(cache, self._packed, self._scale(cache))
+        bias2d = self._bias2d()
+        if bias2d is not None:
+            partial2d = partial2d + bias2d
+        return partial2d, hh2d
+
+    def _dense_full(self, cache: ColumnCache) -> np.ndarray:
+        full2d = _dense_full_2d(cache, self._packed, self._scale(cache))
+        bias2d = self._bias2d()
+        if bias2d is not None:
+            full2d = full2d + bias2d
+        return cache.to_nchw(full2d)
+
     # -- the two-step inference -----------------------------------------------------
 
     def predict_partial(self, x: np.ndarray) -> np.ndarray:
@@ -228,78 +407,118 @@ class ODQConvExecutor(ConvExecutor):
         constants, so its magnitude is directly comparable to the final
         output feature.
         """
-        qp_a = self._qp_a_for(x)
         with trace.span("odq.quantize", layer=self.info.name):
-            q = quantize(x, qp_a)
-        e_low = (
-            float(split_planes(q, qp_a, self.low_bits).low.mean())
-            if self.compensate_low_bits
-            else 0.0
-        )
-        if self.conv.padding:
-            # Pad with the zero point (real 0) *before* the plane split so
-            # the predictor sees the same border values the executor does.
-            q = pad_nchw(q.astype(np.int64), self.conv.padding,
-                         value=qp_a.zero_point).astype(np.int64)
-        q_high = split_planes(q, qp_a, self.low_bits).high
-        hh = int_conv2d(q_high, self._qw_high, self.conv.stride, 0)
-        shifted = hh << (2 * self.low_bits)
-        partial = qp_a.scale * self.qp_w.scale * (
-            shifted + (e_low - qp_a.zero_point) * self._w_sum
-        )
-        if self.conv.bias is not None:
-            partial = partial + self.conv.bias.data.reshape(1, -1, 1, 1)
-        return partial
+            cache = self._build_cache(x)
+        partial2d, _ = self._partial_pair(cache)
+        return cache.to_nchw(partial2d)
 
     def full_result(self, x: np.ndarray) -> np.ndarray:
         """Exact INT4 static-quantization output (predictor + all executor terms)."""
-        qp_a = self._qp_a_for(x)
-        q = quantize(x, qp_a)
-        acc = int_conv2d(q, self._qw, self.conv.stride, self.conv.padding,
-                         pad_value=qp_a.zero_point)
-        out = qp_a.scale * self.qp_w.scale * (
-            acc - qp_a.zero_point * self._w_sum
-        )
-        if self.conv.bias is not None:
-            out = out + self.conv.bias.data.reshape(1, -1, 1, 1)
-        return out
+        # Standalone callers never read e_low, so skip measuring it.
+        cache = self._build_cache(x, compensate=False)
+        return self._dense_full(cache)
 
     def run(self, x: np.ndarray) -> np.ndarray:
         if not self.frozen:
             raise RuntimeError(f"executor {self.info.name} not frozen; calibrate first")
         self._note_shapes(x)
         name = self.info.name
+        c_out = self.info.out_channels
+        mpo = self.info.macs_per_output
+        ckk = self._packed.wmat_full.shape[0]
 
         with trace.span("odq.run", layer=name) as sp:
+            with trace.span("odq.quantize", layer=name):
+                cache = self._build_cache(x)
             with trace.span("odq.predict_partial", layer=name):
-                partial = self.predict_partial(x)
+                partial2d, _ = self._partial_pair(cache)
+                partial = cache.to_nchw(partial2d)
             if self.collect_partials:
                 flat = np.abs(partial).reshape(-1)
                 step = max(1, flat.size // 4096)
                 self.record.extra.setdefault("partial_abs_samples", []).append(flat[::step])
             with trace.span("odq.mask", layer=name):
                 mask = mask_from_magnitude(partial, self.effective_threshold)
-            with trace.span("odq.full_result", layer=name):
-                full = self.full_result(x)
-            out = np.where(mask.mask, full, partial)
+                # Row = one spatial output position; a row is computed by
+                # the sparse path when *any* of its channels is sensitive.
+                any_rows = mask.mask.any(axis=1).reshape(-1)
+                n_sense_rows = int(np.count_nonzero(any_rows))
+
+            path = self.exec_path
+            if path == "auto":
+                path = ("sparse"
+                        if n_sense_rows <= self.sparse_crossover * cache.rows
+                        else "dense")
+
+            with trace.span("odq.full_result", layer=name, path=path) as fsp:
+                if path == "dense":
+                    full = self._dense_full(cache)
+                    out = np.where(mask.mask, full, partial)
+                    rows_computed = cache.rows
+                    flops_full = cache.rows * ckk * c_out
+                else:
+                    # Scatter in place: ``partial`` is a view of
+                    # ``partial2d`` (see ColumnCache.to_nchw) and is not
+                    # read again after the mask, so no copy is needed.
+                    out2d = partial2d
+                    sel = np.flatnonzero(any_rows)
+                    if sel.size:
+                        full_rows = _sparse_full_rows(
+                            cache, self._packed, self._scale(cache), sel
+                        )
+                        bias2d = self._bias2d()
+                        if bias2d is not None:
+                            full_rows = full_rows + bias2d
+                        # Gather only the selected rows of the mask
+                        # ((R, C_out)) instead of transposing the whole
+                        # NCHW mask into row-major layout.
+                        ni, rem = np.divmod(sel, cache.oh * cache.ow)
+                        oi, oj = np.divmod(rem, cache.ow)
+                        mask_rows = mask.mask[ni, :, oi, oj]
+                        out2d[sel] = np.where(mask_rows, full_rows, out2d[sel])
+                    out = partial
+                    rows_computed = n_sense_rows
+                    flops_full = n_sense_rows * ckk * c_out
+                flops_full_dense = cache.rows * ckk * c_out
+                fsp.add("rows", cache.rows)
+                fsp.add("rows_computed", rows_computed)
+                fsp.add("flops_full", flops_full)
+                fsp.add("flops_full_dense", flops_full_dense)
 
             self.record.add_mask(mask)
             if not self.keep_masks:
                 self.record.last_mask = None
+            self._note_exec_path(path, cache.rows, rows_computed,
+                                 flops_full, flops_full_dense)
             n_out = partial.size
-            mpo = self.info.macs_per_output
             # Predictor: one INT2 MAC stream over every output feature.
             self.record.macs["pred_int2"] += n_out * mpo
             # Executor: the remaining three cross terms, only for sensitive outputs.
             self.record.macs["exec_int4"] += mask.sensitive_count * mpo
             # Profiling counters: where the MACs went (and the dense-INT4
             # work the insensitive outputs skipped).
+            sp.set(path=path)
             sp.add("outputs", n_out)
             sp.add("sensitive", mask.sensitive_count)
             sp.add("macs_pred", n_out * mpo)
             sp.add("macs_exec", mask.sensitive_count * mpo)
             sp.add("macs_skipped", (n_out - mask.sensitive_count) * mpo)
         return out
+
+    def _note_exec_path(self, path: str, rows: int, rows_computed: int,
+                        flops_full: int, flops_full_dense: int) -> None:
+        """Accumulate dispatch statistics on the layer record."""
+        extra = self.record.extra
+        counts = extra.setdefault("exec_path_calls", {})
+        counts[path] = counts.get(path, 0) + 1
+        extra["exec_rows_total"] = extra.get("exec_rows_total", 0) + rows
+        extra["exec_rows_computed"] = (
+            extra.get("exec_rows_computed", 0) + rows_computed
+        )
+        extra["exec_flops_full"] = extra.get("exec_flops_full", 0) + flops_full
+        extra["exec_flops_full_dense"] = (
+            extra.get("exec_flops_full_dense", 0) + flops_full_dense
+        )
 
     # -- introspection ---------------------------------------------------------------
 
@@ -308,4 +527,10 @@ class ODQConvExecutor(ConvExecutor):
         return mask_from_magnitude(self.predict_partial(x), self.effective_threshold)
 
 
-__all__ = ["ODQConvExecutor"]
+__all__ = [
+    "ODQConvExecutor",
+    "odq_mixed_conv",
+    "odq_weight_qparams",
+    "EXEC_PATHS",
+    "SPARSE_ROW_CROSSOVER",
+]

@@ -27,7 +27,7 @@ from repro.nn.optim import SGD
 from repro.nn.tensor import Tensor
 from repro.nn.trainer import Trainer, TrainHistory
 from repro.quant.uniform import affine_qparams, dequantize, quantize
-from repro.utils.im2col import col2im, conv_output_size, im2col
+from repro.utils.im2col import col2im
 
 
 class ODQAwareConv2d(Conv2d):
@@ -110,6 +110,7 @@ class ODQAwareConv2d(Conv2d):
             qp_a,
             qp_w,
             self.low_bits,
+            with_cache=True,
         )
         out_data = result["out"]
         if self.threshold_mode == "scaled" and self.training:
@@ -121,11 +122,15 @@ class ODQAwareConv2d(Conv2d):
         self.last_sensitive_fraction = result["mask"].sensitive_fraction
 
         # STE backward: gradients of an ordinary conv over the
-        # *dequantized* operands (fake-quant straight-through).
+        # *dequantized* operands (fake-quant straight-through).  The
+        # forward pass's column cache already holds the quantized input
+        # columns (zero-point padded — which dequantizes to the real-0
+        # padding an ordinary conv uses), so the dequantized column
+        # matrix is one affine transform instead of a second im2col.
         w_deq = dequantize(quantize(self.weight.data, qp_w), qp_w)
-        x_deq = dequantize(quantize(x_data, qp_a), qp_a)
         k, s, p = self.kernel_size, self.stride, self.padding
-        cols = im2col(x_deq, k, s, p)
+        cache = result["cache"]
+        cols = (cache.cols - qp_a.zero_point) * qp_a.scale
         c_out = self.out_channels
         wmat = w_deq.reshape(c_out, -1).T
 

@@ -102,6 +102,7 @@ def odq_scheme(
     weight_percentile: float = 97.0,
     compensate_low_bits: bool = True,
     threshold_mode: str = "absolute",
+    exec_path: str = "auto",
 ) -> Scheme:
     params = {
         "threshold": threshold,
@@ -110,6 +111,7 @@ def odq_scheme(
         "weight_percentile": weight_percentile,
         "compensate_low_bits": compensate_low_bits,
         "threshold_mode": threshold_mode,
+        "exec_path": exec_path,
     }
     return Scheme(
         "odq",
@@ -124,22 +126,25 @@ def odq_scheme(
             weight_percentile=weight_percentile,
             compensate_low_bits=compensate_low_bits,
             threshold_mode=threshold_mode,
+            exec_path=exec_path,
         ),
         params=params,
     )
 
 
 #: Named scheme builders for CLI / serving lookup.  Each entry maps a
-#: lowercase registry name to ``(threshold) -> Scheme``; builders that do
-#: not use a threshold simply ignore it.
-_NAMED_SCHEMES: dict[str, Callable[[float], Scheme]] = {
-    "fp32": lambda _t: fp32_scheme(),
-    "int16": lambda _t: static_scheme(16),
-    "int8": lambda _t: static_scheme(8),
-    "int4": lambda _t: static_scheme(4),
-    "drq84": lambda t: drq_scheme(8, 4, threshold=t),
-    "drq42": lambda t: drq_scheme(4, 2, threshold=t),
-    "odq": odq_scheme,
+#: lowercase registry name to ``(threshold, **extras) -> Scheme``;
+#: builders that do not use a threshold (or an extra knob) simply ignore
+#: it.  ``exec_path`` is the ODQ result-generation path
+#: (``auto|dense|sparse``, see :mod:`repro.core.odq`).
+_NAMED_SCHEMES: dict[str, Callable[..., Scheme]] = {
+    "fp32": lambda _t, **_kw: fp32_scheme(),
+    "int16": lambda _t, **_kw: static_scheme(16),
+    "int8": lambda _t, **_kw: static_scheme(8),
+    "int4": lambda _t, **_kw: static_scheme(4),
+    "drq84": lambda t, **_kw: drq_scheme(8, 4, threshold=t),
+    "drq42": lambda t, **_kw: drq_scheme(4, 2, threshold=t),
+    "odq": lambda t, exec_path="auto", **_kw: odq_scheme(t, exec_path=exec_path),
 }
 
 #: Threshold used when a thresholded scheme is requested without one
@@ -152,12 +157,18 @@ def available_schemes() -> list[str]:
     return sorted(_NAMED_SCHEMES)
 
 
-def build_scheme(name: str, threshold: float | None = None) -> Scheme:
+def build_scheme(
+    name: str,
+    threshold: float | None = None,
+    exec_path: str | None = None,
+) -> Scheme:
     """Build a scheme from its registry name (``python -m repro serve``).
 
     ``threshold`` applies to the thresholded schemes (``odq``, ``drq*``);
-    when omitted, :data:`DEFAULT_SERVE_THRESHOLD` is used.  Unknown names
-    raise ``KeyError`` listing the registry.
+    when omitted, :data:`DEFAULT_SERVE_THRESHOLD` is used.  ``exec_path``
+    selects the ODQ result-generation path (``auto|dense|sparse``;
+    ignored by every other scheme).  Unknown names raise ``KeyError``
+    listing the registry.
     """
     key = name.lower().replace("-", "").replace("_", "")
     try:
@@ -167,7 +178,8 @@ def build_scheme(name: str, threshold: float | None = None) -> Scheme:
             f"unknown scheme {name!r}; available: {available_schemes()}"
         ) from None
     theta = DEFAULT_SERVE_THRESHOLD if threshold is None else threshold
-    return factory(theta)
+    extras = {} if exec_path is None else {"exec_path": exec_path}
+    return factory(theta, **extras)
 
 
 def paper_schemes(odq_threshold: float) -> dict[str, Scheme]:

@@ -8,7 +8,11 @@ paper-style accounting the motivation study needs at runtime:
   ``full_result``) wall-clock totals and per-call distributions;
 * MACs computed (predictor INT2 + executor INT4) vs. MACs *skipped*
   (the dense-INT4 work ODQ's insensitive outputs avoided);
-* per-layer sensitive ratio (the knob Figs. 9-11 sweep).
+* per-layer sensitive ratio (the knob Figs. 9-11 sweep);
+* per-layer result-generation path (``dense`` vs ``sparse``, see
+  :mod:`repro.core.odq`) and the *effective speedup* the chosen path
+  delivered — the measured phase times re-priced at the dense path's
+  FLOP count, reconciling ``macs_skipped`` against wall-clock reality.
 
 :func:`profile_inference` is the driver behind ``repro profile``: it
 builds a model session, enables the tracer, streams a few batches
@@ -71,6 +75,12 @@ class LayerProfile:
     macs_skipped: int = 0
     outputs: int = 0
     sensitive: int = 0
+    #: Result-generation dispatch census (``{"dense": n, "sparse": m}``).
+    path_calls: dict = field(default_factory=dict)
+    rows: int = 0            #: spatial output rows seen by full_result
+    rows_computed: int = 0   #: rows the chosen path actually computed
+    flops_full: int = 0          #: full-result GEMM FLOPs actually spent
+    flops_full_dense: int = 0    #: FLOPs the dense path would have spent
 
     def phase(self, phase: str) -> PhaseStat:
         stat = self.phases.get(phase)
@@ -94,6 +104,47 @@ class LayerProfile:
     def skip_ratio(self) -> float:
         dense = self.macs_exec + self.macs_skipped
         return self.macs_skipped / dense if dense else 0.0
+
+    @property
+    def exec_path_summary(self) -> str:
+        """Human-readable dispatch census: ``dense``, ``sparse``, or a mix."""
+        if not self.path_calls:
+            return "-"
+        if len(self.path_calls) == 1:
+            return next(iter(self.path_calls))
+        return "|".join(
+            f"{p}:{n}" for p, n in sorted(self.path_calls.items())
+        )
+
+    @property
+    def effective_speedup(self) -> float | None:
+        """Measured end-to-end speedup the chosen path delivered.
+
+        Re-prices the measured ``full_result`` phase time at the dense
+        path's FLOP count and compares against the layer's actual total:
+
+        ``(other_phases_ms + full_ms * flops_dense / flops_actual)
+        / total_ms``
+
+        This reconciles the *theoretical* ``macs_skipped`` census with
+        wall-clock reality — gather/scatter overhead and the sparse
+        GEMM's doubled operand width both show up here, so the column
+        reads below the skip ratio at high density and near ``1.00x``
+        for the dense path.  ``None`` when the layer never ran the
+        instrumented full-result phase (or it spent zero FLOPs).
+        """
+        full = self.phases.get("full_result")
+        if (
+            full is None
+            or full.total_ms <= 0.0
+            or self.total_ms <= 0.0
+            or self.flops_full <= 0
+            or self.flops_full_dense <= 0
+        ):
+            return None
+        dense_full_ms = full.total_ms * (self.flops_full_dense / self.flops_full)
+        other_ms = self.total_ms - full.total_ms
+        return (other_ms + dense_full_ms) / self.total_ms
 
 
 class ProfileReport:
@@ -128,6 +179,17 @@ class ProfileReport:
             layer = report._layer(layer_name)
             if phase in PHASES:
                 layer.phase(phase).add(s.duration_us)
+            if phase == "full_result":
+                path = s.attrs.get("path")
+                if path is not None:
+                    layer.path_calls[path] = layer.path_calls.get(path, 0) + 1
+                if s.counters:
+                    layer.rows += int(s.counters.get("rows", 0))
+                    layer.rows_computed += int(s.counters.get("rows_computed", 0))
+                    layer.flops_full += int(s.counters.get("flops_full", 0))
+                    layer.flops_full_dense += int(
+                        s.counters.get("flops_full_dense", 0)
+                    )
             if s.counters:
                 layer.macs_pred += int(s.counters.get("macs_pred", 0))
                 layer.macs_exec += int(s.counters.get("macs_exec", 0))
@@ -154,6 +216,19 @@ class ProfileReport:
             layer.sensitive = int(rec.sensitive_total)
             insensitive = rec.outputs_total - rec.sensitive_total
             layer.macs_skipped = int(insensitive * rec.info.macs_per_output)
+            extra = getattr(rec, "extra", None) or {}
+            if "exec_path_calls" in extra:
+                layer.path_calls = dict(extra["exec_path_calls"])
+                layer.rows = int(extra.get("exec_rows_total", layer.rows))
+                layer.rows_computed = int(
+                    extra.get("exec_rows_computed", layer.rows_computed)
+                )
+                layer.flops_full = int(
+                    extra.get("exec_flops_full", layer.flops_full)
+                )
+                layer.flops_full_dense = int(
+                    extra.get("exec_flops_full_dense", layer.flops_full_dense)
+                )
 
     # -- rendering -----------------------------------------------------------
 
@@ -213,6 +288,30 @@ class ProfileReport:
                 mac_rows,
                 title="MAC census (computed vs skipped)",
             ))
+        path_rows = []
+        for layer in self.layers.values():
+            if not layer.path_calls:
+                continue
+            speedup = layer.effective_speedup
+            flop_share = (
+                format_percent(layer.flops_full / layer.flops_full_dense)
+                if layer.flops_full_dense
+                else "-"
+            )
+            path_rows.append([
+                layer.name,
+                layer.exec_path_summary,
+                f"{layer.rows_computed:,}/{layer.rows:,}",
+                flop_share,
+                "-" if speedup is None else f"{speedup:.2f}x",
+            ])
+        if path_rows:
+            parts.append(ascii_table(
+                ["layer", "path", "rows computed", "full-result FLOPs",
+                 "effective speedup"],
+                path_rows,
+                title="result generation (dense vs sparse dispatch)",
+            ))
         totals = self.phase_totals()
         if totals:
             rows = [[p, f"{t:.3f}", format_percent(t / grand)] for p, t in totals.items()]
@@ -257,6 +356,7 @@ def profile_inference(
     batches: int = 1,
     calib_images: int = 32,
     train_epochs: int = 0,
+    exec_path: str = "auto",
     tracer=None,
 ) -> ProfileResult:
     """Build a session, trace ``batches`` inference batches, report.
@@ -284,6 +384,7 @@ def profile_inference(
         dataset=dataset,
         train_epochs=train_epochs,
         calib_images=calib_images,
+        exec_path=exec_path,
     )
     session = ModelSession(config)
     engine = session.engine

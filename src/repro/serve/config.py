@@ -34,6 +34,9 @@ class ServeConfig:
         latency/throughput tests where accuracy is irrelevant.
     calib_images:
         Number of calibration images sampled from the dataset.
+    exec_path:
+        ODQ result-generation path (``auto | dense | sparse``; see
+        :mod:`repro.core.odq`).  Ignored by non-ODQ schemes.
 
     Batching
     --------
@@ -57,6 +60,7 @@ class ServeConfig:
     dataset: str = "mnist"
     train_epochs: int = 0
     calib_images: int = 64
+    exec_path: str = "auto"
     seed: int = DEFAULT_SEED
 
     max_batch_size: int = 8
@@ -79,6 +83,10 @@ class ServeConfig:
             raise ValueError("train_epochs must be >= 0")
         if self.calib_images < 1:
             raise ValueError("calib_images must be >= 1")
+        if self.exec_path not in ("auto", "dense", "sparse"):
+            raise ValueError(
+                f"exec_path must be auto|dense|sparse, got {self.exec_path!r}"
+            )
 
 
 __all__ = ["ServeConfig"]

@@ -42,11 +42,12 @@ _log = get_logger("repro.serve.session")
 
 @dataclass(frozen=True)
 class SessionKey:
-    """Cache key: one session per (model, scheme, threshold) triple."""
+    """Cache key: one session per (model, scheme, threshold, exec_path)."""
 
     model: str
     scheme: str
     threshold: float
+    exec_path: str = "auto"
 
     @classmethod
     def from_config(cls, config: ServeConfig) -> "SessionKey":
@@ -55,7 +56,12 @@ class SessionKey:
             if config.threshold is None
             else float(config.threshold)
         )
-        return cls(config.model.lower(), config.scheme.lower(), theta)
+        return cls(
+            config.model.lower(),
+            config.scheme.lower(),
+            theta,
+            getattr(config, "exec_path", "auto"),
+        )
 
 
 def _build_dataset(config: ServeConfig) -> Dataset:
@@ -109,7 +115,9 @@ class ModelSession:
         t0 = time.perf_counter()
         self.config = config
         self.key = SessionKey.from_config(config)
-        self.scheme = scheme or build_scheme(config.scheme, self.key.threshold)
+        self.scheme = scheme or build_scheme(
+            config.scheme, self.key.threshold, exec_path=self.key.exec_path
+        )
         with trace.span(
             "serve.session_build", model=self.key.model, scheme=self.key.scheme
         ):
