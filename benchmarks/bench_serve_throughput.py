@@ -55,6 +55,16 @@ def test_serve_throughput(benchmark, emit):
         f"batched vs naive: {result.speedup('batched'):6.1f}x\n"
         f"batched vs cached: {result.speedup('batched', 'cached'):5.1f}x"
     )
+    busy = result.paths["batched"].worker_busy
+    if busy:
+        # Per-worker busy fraction makes thread-scaling runs readable:
+        # near-1.0 fractions mean the pool was compute-bound; low
+        # fractions mean batching starved the workers (or GEMM threads
+        # oversubscribed the cores).
+        lines.append("")
+        lines.append("worker busy fractions (batched): " + "  ".join(
+            f"{w['name']}={w['busy_fraction'] * 100.0:.1f}%" for w in busy
+        ))
     emit("serve_throughput", "\n".join(lines))
 
     naive = result.paths["naive"].requests_per_second

@@ -99,6 +99,7 @@ def _cmd_profile(args) -> int:
         calib_images=args.calib_images,
         train_epochs=args.train_epochs,
         exec_path=args.exec_path,
+        gemm_threads=args.gemm_threads,
     )
     console(result.render())
     if args.flame:
@@ -136,6 +137,7 @@ def _serve_config_from_args(args) -> "ServeConfig":  # noqa: F821 — lazy impor
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         workers=args.workers,
+        gemm_threads=args.gemm_threads,
         host=args.host,
         port=args.port,
     )
@@ -162,6 +164,10 @@ def _add_serve_options(parser: argparse.ArgumentParser) -> None:
                         help="max time a batch is held open for more requests")
     parser.add_argument("--workers", type=int, default=2,
                         help="engine worker threads")
+    parser.add_argument("--gemm-threads", type=int, default=None,
+                        help="process-wide GEMM pool width (default: "
+                             "REPRO_GEMM_THREADS or min(cpu, 8); 1 disables "
+                             "intra-op parallelism; shared by all workers)")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8321,
                         help="bind port (0 = OS-assigned)")
@@ -267,6 +273,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--exec-path", choices=["auto", "dense", "sparse"],
                         default="auto",
                         help="ODQ result-generation path (auto|dense|sparse)")
+    p_prof.add_argument("--gemm-threads", type=int, default=None,
+                        help="process-wide GEMM pool width for the profiled "
+                             "run (1 disables intra-op parallelism)")
     p_prof.add_argument("--flame", action="store_true",
                         help="also print the aggregated ASCII call tree")
 

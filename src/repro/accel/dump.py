@@ -39,6 +39,11 @@ def save_workloads(path: str | Path, workloads: list[LayerWorkload]) -> Path:
                 "sensitive_fraction": wl.sensitive_fraction,
                 "input_sensitive_fraction": wl.input_sensitive_fraction,
                 "has_channel_counts": wl.per_channel_sensitive is not None,
+                # Result-generation dispatch census (0 when the source run
+                # predates census instrumentation; see LayerWorkload docs).
+                "exec_rows_total": wl.exec_rows_total,
+                "exec_rows_computed": wl.exec_rows_computed,
+                "exec_flops_full": wl.exec_flops_full,
             }
         )
         if wl.per_channel_sensitive is not None:
@@ -66,6 +71,11 @@ def load_workloads(path: str | Path) -> list[LayerWorkload]:
                 data[f"channel_counts_{i}"] if m.pop("has_channel_counts") else None
             )
             macs = {k: int(v) for k, v in m.pop("macs").items()}
+            # Census keys are absent from dumps written before the
+            # result-generation census existed; default them to 0 so the
+            # simulator falls back to channel-granular accounting.
+            for key in ("exec_rows_total", "exec_rows_computed", "exec_flops_full"):
+                m[key] = int(m.get(key, 0))
             workloads.append(
                 LayerWorkload(
                     macs=macs, per_channel_sensitive=counts, **m

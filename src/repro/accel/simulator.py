@@ -76,6 +76,14 @@ class LayerWorkload:
     sensitive_fraction: float = 0.0
     per_channel_sensitive: np.ndarray | None = None
     input_sensitive_fraction: float = 0.0
+    #: Result-generation census recorded by the software executor (see
+    #: ``ODQConvExecutor._note_exec_path``): output rows seen vs rows the
+    #: dispatched path actually computed, and the MACs of the gathered-row
+    #: full-result GEMM.  ``0`` means "census not recorded" (old dumps,
+    #: non-ODQ schemes) and preserves the channel-granular accounting.
+    exec_rows_total: int = 0
+    exec_rows_computed: int = 0
+    exec_flops_full: int = 0
 
     @property
     def macs_per_output(self) -> int:
@@ -107,6 +115,9 @@ class LayerWorkload:
             input_sensitive_fraction=(
                 extra.get("input_sensitive_total", 0) / in_total if in_total else 0.0
             ),
+            exec_rows_total=int(extra.get("exec_rows_total", 0)),
+            exec_rows_computed=int(extra.get("exec_rows_computed", 0)),
+            exec_flops_full=int(extra.get("exec_flops_full", 0)),
         )
 
 
@@ -339,9 +350,25 @@ class ODQAccelerator(AcceleratorModel):
             return self.allocation
         return choose_allocation(wl.sensitive_fraction)
 
+    def _exec_macs(self, wl: LayerWorkload) -> int:
+        """MACs the executor pass actually performs.
+
+        With the result-generation census recorded
+        (``exec_flops_full > 0``), this is the measured MAC count of the
+        gathered-row full-result GEMM — the work the software sparse path
+        *really* dispatches (whole rows: every channel of a spatial
+        position with >= 1 sensitive channel; or the dense accumulate when
+        the dense path won).  Without a census (old dumps, synthetic
+        workloads) it falls back to the channel-granular ``exec_int4``
+        count, preserving the historical accounting exactly.
+        """
+        if wl.exec_flops_full > 0:
+            return wl.exec_flops_full
+        return wl.macs.get("exec_int4", 0)
+
     def _executor_cycles(self, wl: LayerWorkload, alloc: PEAllocation) -> tuple[float, float]:
         """(cycles, scheduler idle fraction) of the executor pass."""
-        exec_macs = wl.macs.get("exec_int4", 0)
+        exec_macs = self._exec_macs(wl)
         if exec_macs == 0:
             return 0.0, 0.0
         throughput = alloc.executor_arrays * self.pes_per_array
@@ -355,11 +382,34 @@ class ODQAccelerator(AcceleratorModel):
             sched = static_schedule(counts, alloc.executor_arrays)
         else:
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if wl.exec_flops_full > 0:
+            # Census-based accounting: the scheduler study still tells us
+            # how unevenly the sensitive work spreads over the executor
+            # arrays, but the per-array work items are now whole rows, so
+            # apply the schedule's *idle fraction* to the measured-census
+            # ideal rather than re-deriving cycles from channel counts.
+            idle = sched.idle_fraction
+            return ideal / max(1.0 - idle, 1e-9), idle
         # Scheduler makespan is in abstract output units (3 cycles per
         # sensitive output on one array); convert to real cycles where one
         # output costs macs_per_output MACs spread over an array's PEs.
         scale = wl.macs_per_output / self.pes_per_array
         return sched.makespan_cycles * scale, sched.idle_fraction
+
+    def _own_macs(self, wl: LayerWorkload) -> dict[str, int]:
+        """Energy census: replace ``exec_int4`` with the recorded census.
+
+        Keeps cycle and energy accounting consistent — the executor
+        cores spend energy on the rows they actually computed (the
+        software sparse path computes *every* channel of a selected row,
+        the dense path the full accumulate), not on the channel-granular
+        sensitivity count.
+        """
+        own = super()._own_macs(wl)
+        if wl.exec_flops_full > 0 and "exec_int4" in own:
+            own = dict(own)
+            own["exec_int4"] = wl.exec_flops_full
+        return own
 
     def compute_cycles(self, wl: LayerWorkload) -> float:
         alloc = self._alloc_for(wl)

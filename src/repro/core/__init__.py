@@ -34,6 +34,7 @@ from repro.core.pipeline import (
     run_scheme,
 )
 from repro.core.threshold import (
+    SweepColumnCache,
     ThresholdSearchResult,
     initial_threshold,
     adaptive_threshold_search,
@@ -79,6 +80,7 @@ __all__ = [
     "InstrumentedConv",
     "QuantizedInferenceEngine",
     "run_scheme",
+    "SweepColumnCache",
     "ThresholdSearchResult",
     "initial_threshold",
     "adaptive_threshold_search",

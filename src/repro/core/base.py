@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.gemm import pgemm
 from repro.core.masks import SensitivityMask
 from repro.nn.layers import Conv2d
 from repro.utils.im2col import conv_output_size, im2col, pad_nchw
@@ -164,7 +165,7 @@ def float_conv2d(
     ow = conv_output_size(x.shape[3], k, stride, padding)
     if cols is None:
         cols = im2col(x, k, stride, padding)
-    out = cols @ w.reshape(c_out, -1).T
+    out = pgemm(cols, w.reshape(c_out, -1).T)
     if b is not None:
         out = out + b.reshape(1, -1)
     return out.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
@@ -207,12 +208,12 @@ def int_conv2d(
             q = pad_nchw(q.astype(np.float64), padding, value=float(pad_value))
             padding = 0
         cols = im2col(q.astype(np.float64), k, stride, padding)
-        out = cols @ qw.reshape(c_out, -1).T.astype(np.float64)
+        out = pgemm(cols, qw.reshape(c_out, -1).T.astype(np.float64))
         result = np.rint(out).astype(np.int64)
     else:
         # Pre-built exact-integer float64 columns: the GEMM is exact, so
         # skip the rint/astype round-trip and stay in float64.
-        result = cols @ qw.reshape(c_out, -1).T.astype(np.float64)
+        result = pgemm(cols, qw.reshape(c_out, -1).T.astype(np.float64))
     return result.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
 
 

@@ -54,6 +54,7 @@ import numpy as np
 from repro.config import ODQ_LOW_BITS, ODQ_TOTAL_BITS
 from repro.core.base import ConvExecutor
 from repro.core.colcache import ColumnCache, PackedConvWeights, pack_conv_weights
+from repro.core.gemm import pgemm
 from repro.core.masks import SensitivityMask, mask_from_magnitude
 from repro.obs import trace
 from repro.nn.layers import Conv2d
@@ -105,7 +106,7 @@ def _partial_2d(cache: ColumnCache, packed: PackedConvWeights,
     :mod:`repro.core.colcache`); it is returned so the sparse path can
     reassemble the full integer accumulate without recomputing it.
     """
-    hh2d = cache.cols_high @ packed.wmat_high
+    hh2d = pgemm(cache.cols_high, packed.wmat_high)
     partial2d = scale * (
         hh2d * float(1 << packed.high_shift)
         + (cache.e_low - cache.qp_a.zero_point) * packed.w_sum
@@ -116,7 +117,7 @@ def _partial_2d(cache: ColumnCache, packed: PackedConvWeights,
 def _dense_full_2d(cache: ColumnCache, packed: PackedConvWeights,
                    scale: float) -> np.ndarray:
     """Exact INT4 static-quantization output, dense GEMM, (rows, C_out)."""
-    acc2d = cache.cols @ packed.wmat_full
+    acc2d = pgemm(cache.cols, packed.wmat_full)
     return scale * (acc2d - cache.qp_a.zero_point * packed.w_sum)
 
 
@@ -139,7 +140,7 @@ def _sparse_full_rows(
     paper's executor clusters physically compute, and the tests pin its
     algebra against this path).
     """
-    acc_rows = cache.full_rows(sel) @ packed.wmat_full
+    acc_rows = pgemm(cache.full_rows(sel), packed.wmat_full)
     return scale * (acc_rows - cache.qp_a.zero_point * packed.w_sum)
 
 
@@ -317,6 +318,14 @@ class ODQConvExecutor(ConvExecutor):
         self.output_std: float | None = None
         self._std_acc: list[float] = []
 
+        #: Optional cross-call cache provider.  When set, ``_build_cache``
+        #: delegates to ``cache_provider(self, x, compensate)`` instead of
+        #: constructing a fresh :class:`ColumnCache`; sweep drivers
+        #: (:class:`repro.core.threshold.SweepColumnCache`) install a
+        #: content-addressed store here so the quantize→pad→im2col prep
+        #: for an unchanged input is paid once across many thresholds.
+        self.cache_provider = None
+
         self.qp_a: QParams | None = None
         self.qp_w: QParams | None = None
         self._qw: np.ndarray | None = None       # full INT4 weights
@@ -365,7 +374,23 @@ class ODQConvExecutor(ConvExecutor):
 
     def _build_cache(self, x: np.ndarray,
                      compensate: bool | None = None) -> ColumnCache:
-        """Quantize → pad → im2col exactly once for this layer call."""
+        """Quantize → pad → im2col exactly once for this layer call.
+
+        With a :attr:`cache_provider` installed the prep may be shared
+        *across* calls too: the provider returns a previously-built cache
+        when the same input bytes reach this layer again (the cache is
+        immutable during :meth:`run`, so reuse is safe and bit-exact).
+        """
+        if self.cache_provider is not None:
+            return self.cache_provider(
+                self, x,
+                self.compensate_low_bits if compensate is None else compensate,
+            )
+        return self._fresh_cache(x, compensate)
+
+    def _fresh_cache(self, x: np.ndarray,
+                     compensate: bool | None = None) -> ColumnCache:
+        """Unconditionally construct the per-call :class:`ColumnCache`."""
         return ColumnCache(
             x,
             self._qp_a_for(x),

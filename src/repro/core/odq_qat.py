@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.config import ODQ_LOW_BITS, ODQ_TOTAL_BITS
+from repro.core.gemm import pgemm
 from repro.core.odq import odq_mixed_conv, odq_weight_qparams
 from repro.nn.layers import Conv2d, Module, swap_modules
 from repro.nn.loss import cross_entropy
@@ -139,11 +140,11 @@ class ODQAwareConv2d(Conv2d):
         def backward(g: np.ndarray) -> None:
             gmat = np.asarray(g).transpose(0, 2, 3, 1).reshape(-1, c_out)
             if weight_t.requires_grad:
-                weight_t._accumulate((cols.T @ gmat).T.reshape(weight_t.shape))
+                weight_t._accumulate(pgemm(cols.T, gmat).T.reshape(weight_t.shape))
             if bias_t is not None and bias_t.requires_grad:
                 bias_t._accumulate(gmat.sum(axis=0))
             if x_t.requires_grad:
-                x_t._accumulate(col2im(gmat @ wmat.T, x_t.shape, k, s, p))
+                x_t._accumulate(col2im(pgemm(gmat, wmat.T), x_t.shape, k, s, p))
 
         parents = (x, self.weight) if self.bias is None else (x, self.weight, self.bias)
         return Tensor.from_op(out_data, parents, backward, "odq_conv")

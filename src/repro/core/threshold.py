@@ -13,14 +13,113 @@ Fig.-22 threshold-analysis curve.
 from __future__ import annotations
 
 import copy
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.odq import ODQConvExecutor
 from repro.core.odq_qat import finetune_odq
 from repro.core.pipeline import QuantizedInferenceEngine, run_scheme
 from repro.core.schemes import odq_scheme
 from repro.nn.layers import Module
+
+
+class SweepColumnCache:
+    """Content-addressed :class:`~repro.core.colcache.ColumnCache` store.
+
+    The adaptive search and the Fig.-22 sweep run the *same* inputs
+    through the *same* frozen engine once per candidate threshold.  The
+    threshold only steers the mask/result-generation steps — the
+    quantize→pad→im2col prep of a layer whose input bytes are unchanged
+    is identical across the whole sweep.  Installing this provider on the
+    engine's ODQ executors (:meth:`install`) keys each layer's prep by
+    ``(layer, input-id, compensate)``, where the input id is a BLAKE2b
+    fingerprint of the input bytes, so the prep is paid once per distinct
+    input instead of once per candidate threshold.
+
+    Correctness does not rest on any sweep-invariance assumption: a
+    changed input (deeper layers *do* see threshold-dependent inputs)
+    changes the fingerprint and misses.  A small per-layer LRU bounds
+    memory — sweep-invariant entries (the first conv always; every conv
+    at ``threshold=inf`` or in single-conv models) are re-hit every
+    iteration and therefore never evicted.
+
+    :attr:`prep_calls` counts actual cache constructions per layer (the
+    quantity the sweep amortizes); :attr:`hits`/:attr:`misses` summarize
+    reuse.  Not thread-safe — sweep drivers are single-threaded.
+    """
+
+    def __init__(self, capacity_per_layer: int = 8):
+        if capacity_per_layer < 1:
+            raise ValueError("capacity_per_layer must be >= 1")
+        self.capacity_per_layer = capacity_per_layer
+        self._store: "OrderedDict[tuple, object]" = OrderedDict()
+        self._per_layer: dict[str, int] = {}
+        self.prep_calls: dict[str, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self._installed: list[ODQConvExecutor] = []
+
+    @staticmethod
+    def fingerprint(x: np.ndarray) -> bytes:
+        """BLAKE2b digest of the input's bytes (plus shape/dtype)."""
+        arr = np.ascontiguousarray(x)
+        h = hashlib.blake2b(digest_size=16)
+        h.update(str((arr.shape, arr.dtype.str)).encode())
+        h.update(arr.view(np.uint8).data)
+        return h.digest()
+
+    def __call__(self, executor: ODQConvExecutor, x: np.ndarray,
+                 compensate: bool):
+        layer = executor.info.name
+        key = (layer, self.fingerprint(x), bool(compensate))
+        cache = self._store.get(key)
+        if cache is not None:
+            self._store.move_to_end(key)
+            self.hits += 1
+            return cache
+        self.misses += 1
+        self.prep_calls[layer] = self.prep_calls.get(layer, 0) + 1
+        cache = executor._fresh_cache(x, compensate)
+        self._store[key] = cache
+        n = self._per_layer.get(layer, 0) + 1
+        self._per_layer[layer] = n
+        if n > self.capacity_per_layer:
+            # Evict this layer's least-recently-used entry.
+            for k in self._store:
+                if k[0] == layer:
+                    del self._store[k]
+                    self._per_layer[layer] = n - 1
+                    break
+        return cache
+
+    # -- wiring ------------------------------------------------------------
+
+    def install(self, engine: QuantizedInferenceEngine) -> int:
+        """Set this store as the cache provider on every ODQ executor."""
+        count = 0
+        for ex in engine.executors.values():
+            if isinstance(ex, ODQConvExecutor):
+                ex.cache_provider = self
+                self._installed.append(ex)
+                count += 1
+        return count
+
+    def uninstall(self) -> None:
+        for ex in self._installed:
+            if ex.cache_provider is self:
+                ex.cache_provider = None
+        self._installed.clear()
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "prep_calls": dict(self.prep_calls),
+            "entries": len(self._store),
+        }
 
 
 @dataclass
@@ -77,6 +176,52 @@ def initial_threshold(
         engine.restore()
 
 
+class _SharedSweepEngine:
+    """One calibrated ODQ engine reused across candidate thresholds.
+
+    The threshold is read *per call* by the executors (it steers only the
+    mask and result-generation steps), while calibration and freezing
+    depend only on ``(model weights, x_calib)`` — so one engine calibrated
+    once produces byte-identical results to a fresh engine per candidate,
+    at one calibration instead of N.  A :class:`SweepColumnCache` rides
+    along so the quantize→pad→im2col prep of sweep-invariant layer inputs
+    is also paid once for the whole sweep.
+
+    Only valid when no per-candidate retraining happens (``finetune``
+    changes the weights, which invalidates both reuses).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        x_calib: np.ndarray,
+        total_bits: int,
+        low_bits: int,
+        cache_capacity: int = 8,
+    ):
+        self.engine = QuantizedInferenceEngine(
+            model, odq_scheme(0.0, total_bits=total_bits, low_bits=low_bits)
+        )
+        self.cache = SweepColumnCache(cache_capacity)
+        self.cache.install(self.engine)
+        self.engine.calibrate(x_calib)
+
+    def evaluate_at(
+        self, theta: float, x_val: np.ndarray, y_val: np.ndarray
+    ) -> tuple[float, float]:
+        """(accuracy, mean sensitive fraction) at one threshold."""
+        for ex in self.engine.executors.values():
+            if isinstance(ex, ODQConvExecutor):
+                ex.threshold = float(theta)
+        self.engine.reset_records()
+        acc = self.engine.evaluate(x_val, y_val)
+        return acc, self.engine.mean_sensitive_fraction()
+
+    def close(self) -> None:
+        self.cache.uninstall()
+        self.engine.restore()
+
+
 def _evaluate_threshold(
     model: Module,
     theta: float,
@@ -128,6 +273,12 @@ def adaptive_threshold_search(
     :func:`repro.core.odq_qat.finetune_odq` (minus the threshold), e.g.
     ``{"x_train": ..., "y_train": ..., "epochs": 2, "lr": 0.005}``.
     Each candidate trains a scratch copy; the input model is untouched.
+
+    Without retraining the candidates share one calibrated engine and a
+    :class:`SweepColumnCache` (see :class:`_SharedSweepEngine`): the
+    results are byte-identical to the per-candidate rebuild, but the
+    calibration pass and each layer's quantize→pad→im2col prep for
+    unchanged inputs are paid once for the whole search.
     """
     from repro.core.schemes import fp32_scheme
 
@@ -139,14 +290,29 @@ def adaptive_threshold_search(
         else initial_threshold(model, x_calib, total_bits=total_bits, low_bits=low_bits)
     )
     trace: list[tuple[float, float]] = []
-    for _ in range(max_halvings):
-        acc, _ = _evaluate_threshold(
-            model, theta, x_calib, x_val, y_val, total_bits, low_bits, finetune
-        )
-        trace.append((theta, acc))
-        if baseline - acc <= max_accuracy_drop:
-            return ThresholdSearchResult(theta, acc, baseline, trace, converged=True)
-        theta /= 2.0
+    shared = (
+        None
+        if finetune is not None
+        else _SharedSweepEngine(model, x_calib, total_bits, low_bits)
+    )
+    try:
+        for _ in range(max_halvings):
+            if shared is not None:
+                acc, _ = shared.evaluate_at(theta, x_val, y_val)
+            else:
+                acc, _ = _evaluate_threshold(
+                    model, theta, x_calib, x_val, y_val,
+                    total_bits, low_bits, finetune,
+                )
+            trace.append((theta, acc))
+            if baseline - acc <= max_accuracy_drop:
+                return ThresholdSearchResult(
+                    theta, acc, baseline, trace, converged=True
+                )
+            theta /= 2.0
+    finally:
+        if shared is not None:
+            shared.close()
     # Fall back to the best threshold seen.
     theta, acc = max(trace, key=lambda t: t[1])
     return ThresholdSearchResult(theta, acc, baseline, trace, converged=False)
@@ -176,14 +342,34 @@ def threshold_sweep(
 
     ``finetune`` retrains a scratch copy per threshold (see
     :func:`adaptive_threshold_search`), matching the paper's procedure.
+
+    Without retraining, all points share one calibrated engine plus a
+    :class:`SweepColumnCache` — byte-identical
+    :class:`ThresholdSweepPoint` values, but one calibration and (for
+    sweep-invariant layer inputs) one im2col prep per layer for the
+    entire sweep instead of one per point.
     """
     points = []
+    if finetune is None:
+        shared = _SharedSweepEngine(model, x_calib, total_bits, low_bits)
+        try:
+            for theta in thresholds:
+                acc, sens = shared.evaluate_at(float(theta), x_val, y_val)
+                points.append(
+                    ThresholdSweepPoint(
+                        threshold=float(theta),
+                        accuracy=acc,
+                        insensitive_fraction=1.0 - sens,
+                        sensitive_fraction=sens,
+                    )
+                )
+        finally:
+            shared.close()
+        return points
     for theta in thresholds:
-        candidate = model
-        if finetune is not None:
-            candidate = copy.deepcopy(model)
-            finetune_odq(candidate, float(theta), **finetune)
-            candidate.eval()
+        candidate = copy.deepcopy(model)
+        finetune_odq(candidate, float(theta), **finetune)
+        candidate.eval()
         engine = QuantizedInferenceEngine(
             candidate, odq_scheme(float(theta), total_bits=total_bits, low_bits=low_bits)
         )
@@ -205,6 +391,7 @@ def threshold_sweep(
 
 
 __all__ = [
+    "SweepColumnCache",
     "ThresholdSearchResult",
     "initial_threshold",
     "adaptive_threshold_search",

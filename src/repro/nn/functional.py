@@ -14,6 +14,20 @@ from repro.nn.tensor import Tensor
 from repro.utils.im2col import col2im, conv_output_size, im2col
 
 
+def _pgemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-blocked parallel GEMM (see :mod:`repro.core.gemm`).
+
+    Imported lazily: ``repro.core``'s package init imports
+    ``repro.nn.layers`` (which imports this module), so a module-level
+    ``from repro.core.gemm import pgemm`` would deadlock the import
+    graph when ``repro.nn`` is imported first.  After the first call
+    this is one ``sys.modules`` lookup — negligible next to a GEMM.
+    """
+    from repro.core.gemm import pgemm
+
+    return pgemm(a, b)
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -43,7 +57,7 @@ def conv2d(
 
     cols = im2col(x.data, kh, stride, padding)  # (N*OH*OW, C*K*K)
     wmat = weight.data.reshape(c_out, -1).T  # (C*K*K, C_out)
-    out_mat = cols @ wmat
+    out_mat = _pgemm(cols, wmat)
     if bias is not None:
         out_mat = out_mat + bias.data.reshape(1, c_out)
     out_data = out_mat.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
@@ -53,12 +67,12 @@ def conv2d(
     def backward(g: np.ndarray) -> None:
         gmat = np.asarray(g).transpose(0, 2, 3, 1).reshape(-1, c_out)
         if weight.requires_grad:
-            gw = (cols.T @ gmat).T.reshape(weight.shape)
+            gw = _pgemm(cols.T, gmat).T.reshape(weight.shape)
             weight._accumulate(gw)
         if bias is not None and bias.requires_grad:
             bias._accumulate(gmat.sum(axis=0))
         if x.requires_grad:
-            gcols = gmat @ wmat.T
+            gcols = _pgemm(gmat, wmat.T)
             x._accumulate(col2im(gcols, x.shape, kh, stride, padding))
 
     return Tensor.from_op(out_data, parents, backward, "conv2d")

@@ -42,6 +42,14 @@ class PathResult:
     name: str
     requests: int
     seconds: float
+    #: Per-worker utilisation for pooled paths: ``[{"name", "batches",
+    #: "images", "busy_seconds", "busy_fraction"}, ...]``.  The busy
+    #: fraction is ``WorkerStats.busy_seconds / wall-clock`` — the share
+    #: of the benchmark window the worker spent inside ``engine.infer``,
+    #: which is what makes worker/GEMM-thread scaling runs interpretable
+    #: (low fractions mean the pool is starved or oversubscribed, not
+    #: slow).  Empty for single-threaded paths.
+    worker_busy: list = field(default_factory=list)
 
     @property
     def requests_per_second(self) -> float:
@@ -54,6 +62,9 @@ class ServeBenchResult:
 
     config: ServeConfig
     paths: dict[str, PathResult] = field(default_factory=dict)
+    #: Per-layer result-generation dispatch census from the batched
+    #: pool's engines (see :meth:`repro.serve.worker.WorkerPool.exec_census`).
+    exec_census: dict = field(default_factory=dict)
 
     def speedup(self, path: str, baseline: str = "naive") -> float:
         return (
@@ -74,23 +85,71 @@ class ServeBenchResult:
         ]
         title = (
             f"serving throughput — model={self.config.model} "
-            f"scheme={self.config.scheme} batch<= {self.config.max_batch_size} "
+            f"scheme={self.config.scheme} exec={self.config.exec_path} "
+            f"batch<= {self.config.max_batch_size} "
             f"workers={self.config.workers}"
+            + (
+                f" gemm_threads={self.config.gemm_threads}"
+                if self.config.gemm_threads is not None
+                else ""
+            )
         )
-        return ascii_table(
+        parts = [ascii_table(
             ["path", "requests", "seconds", "req/s", "vs naive"], rows, title=title
-        )
+        )]
+        busy_rows = [
+            [
+                w["name"],
+                w["batches"],
+                w["images"],
+                f"{w['busy_seconds']:.3f}",
+                f"{w['busy_fraction'] * 100.0:.1f}%",
+            ]
+            for p in self.paths.values()
+            for w in p.worker_busy
+        ]
+        if busy_rows:
+            parts.append(ascii_table(
+                ["worker", "batches", "images", "busy s", "busy frac"],
+                busy_rows,
+                title="worker utilisation (batched path)",
+            ))
+        if self.exec_census:
+            census_rows = [
+                [
+                    layer,
+                    "|".join(
+                        f"{p}:{n}" for p, n in sorted(c["path_calls"].items())
+                    ),
+                    f"{c['rows_computed']:,}/{c['rows_total']:,}",
+                ]
+                for layer, c in self.exec_census.items()
+            ]
+            parts.append(ascii_table(
+                ["layer", "path calls", "rows computed"],
+                census_rows,
+                title="result-generation dispatch census (batched path)",
+            ))
+        return "\n\n".join(parts)
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             name: {
                 "requests": p.requests,
                 "seconds": round(p.seconds, 4),
                 "requests_per_second": round(p.requests_per_second, 3),
                 "speedup_vs_naive": round(self.speedup(name), 2),
+                **(
+                    {"worker_busy": p.worker_busy}
+                    if p.worker_busy
+                    else {}
+                ),
             }
             for name, p in self.paths.items()
         }
+        if self.exec_census:
+            out["exec_census"] = self.exec_census
+        return out
 
 
 def _request_images(session: ModelSession, n: int, seed: int) -> list[np.ndarray]:
@@ -121,10 +180,18 @@ def run_cached(session: ModelSession, requests: int, seed: int) -> PathResult:
 
 
 def run_batched(
-    session: ModelSession, config: ServeConfig, requests: int, seed: int
+    session: ModelSession, config: ServeConfig, requests: int, seed: int,
+    census_out: dict | None = None,
 ) -> PathResult:
-    """Cached session + micro-batcher + worker pool, all requests in flight."""
+    """Cached session + micro-batcher + worker pool, all requests in flight.
+
+    ``census_out``, when given, receives the pool's per-layer
+    result-generation dispatch census (collected before shutdown).
+    """
     images = _request_images(session, requests, seed + 3)
+    # The cached path above ran on session.engine, which becomes worker
+    # 0; start from clean records so the census covers only this run.
+    session.engine.reset_records()
     batcher = MicroBatcher(
         max_batch_size=config.max_batch_size, max_wait_ms=config.max_wait_ms
     )
@@ -137,7 +204,18 @@ def run_batched(
         for fut in futures:
             fut.result(timeout=120)
         elapsed = time.perf_counter() - t0
-    return PathResult("batched", requests, elapsed)
+        worker_busy = [
+            {
+                **w,
+                "busy_fraction": round(
+                    (w["busy_seconds"] / elapsed) if elapsed > 0 else 0.0, 4
+                ),
+            }
+            for w in pool.stats()
+        ]
+        if census_out is not None:
+            census_out.update(pool.exec_census())
+    return PathResult("batched", requests, elapsed, worker_busy=worker_busy)
 
 
 def run_serve_benchmark(
@@ -158,7 +236,9 @@ def run_serve_benchmark(
     manager = sessions or SessionManager()
     session = manager.get_or_create(config)
     result.paths["cached"] = run_cached(session, requests, config.seed)
-    result.paths["batched"] = run_batched(session, config, requests, config.seed)
+    result.paths["batched"] = run_batched(
+        session, config, requests, config.seed, census_out=result.exec_census
+    )
     return result
 
 

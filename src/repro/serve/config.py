@@ -50,6 +50,13 @@ class ServeConfig:
     --------------
     workers:
         Engine worker threads; each confines its own engine clone.
+    gemm_threads:
+        Width of the process-wide GEMM pool (:mod:`repro.core.gemm`)
+        applied at session build.  ``None`` keeps the ambient setting
+        (``REPRO_GEMM_THREADS`` or ``min(cpu, 8)``); ``1`` disables
+        intra-op parallelism.  Note the pool is shared by all workers:
+        effective concurrency is ``workers x gemm_threads``, so keep
+        the product near the core count (see ``docs/serving.md``).
     host / port:
         Bind address.  ``port=0`` asks the OS for a free port (tests).
     """
@@ -67,6 +74,7 @@ class ServeConfig:
     max_wait_ms: float = 2.0
 
     workers: int = 2
+    gemm_threads: int | None = None
     host: str = "127.0.0.1"
     port: int = 8321
 
@@ -79,6 +87,8 @@ class ServeConfig:
             raise ValueError("max_wait_ms must be >= 0")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.gemm_threads is not None and self.gemm_threads < 1:
+            raise ValueError("gemm_threads must be >= 1 when set")
         if self.train_epochs < 0:
             raise ValueError("train_epochs must be >= 0")
         if self.calib_images < 1:

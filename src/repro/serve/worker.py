@@ -190,6 +190,11 @@ class WorkerPool:
         """Aggregate sensitivity-mask density across worker engines."""
         for name, density in self.layer_densities().items():
             m.gauge(f"sensitive_ratio:{name}").set(density)
+        for name, census in self.exec_census().items():
+            m.gauge(f"exec_rows_total:{name}").set(census["rows_total"])
+            m.gauge(f"exec_rows_computed:{name}").set(census["rows_computed"])
+            for path, calls in census["path_calls"].items():
+                m.gauge(f"exec_path_calls_{path}:{name}").set(calls)
 
     # -- introspection ------------------------------------------------------
 
@@ -205,6 +210,34 @@ class WorkerPool:
             name: (sens[name] / total[name] if total[name] else 0.0)
             for name in sens
         }
+
+    def exec_census(self) -> dict[str, dict]:
+        """Per-layer result-generation dispatch census over all workers.
+
+        Sums the ``exec_*`` extras the ODQ executors record (see
+        :meth:`repro.core.odq.ODQConvExecutor._note_exec_path`): rows
+        seen vs rows actually computed by the chosen path, and how often
+        each path (``dense``/``sparse``) was dispatched.  Layers that
+        never ran an instrumented full-result step (non-ODQ schemes) are
+        absent.
+        """
+        census: dict[str, dict] = {}
+        for w in self._workers:
+            for name, rec in w.engine.records.items():
+                extra = getattr(rec, "extra", None) or {}
+                if "exec_path_calls" not in extra:
+                    continue
+                c = census.setdefault(
+                    name,
+                    {"rows_total": 0, "rows_computed": 0, "path_calls": {}},
+                )
+                c["rows_total"] += int(extra.get("exec_rows_total", 0))
+                c["rows_computed"] += int(extra.get("exec_rows_computed", 0))
+                for path, calls in extra["exec_path_calls"].items():
+                    c["path_calls"][path] = (
+                        c["path_calls"].get(path, 0) + int(calls)
+                    )
+        return census
 
     def stats(self) -> list[dict]:
         return [w.stats.as_dict() for w in self._workers]

@@ -1,0 +1,164 @@
+"""Sweep-time column-cache reuse: byte-identical results, one prep per
+distinct layer input.
+
+The tentpole claim: ``threshold_sweep`` / ``adaptive_threshold_search``
+with the shared engine + :class:`SweepColumnCache` return *exactly* the
+values the old fresh-engine-per-threshold procedure produced.  Verified
+here by rebuilding that old procedure inline and comparing tuples with
+``==`` (floats included — same ops in the same order, so bit equality is
+the requirement, not approx).
+"""
+
+import numpy as np
+
+from repro.core.odq import ODQConvExecutor
+from repro.core.pipeline import QuantizedInferenceEngine, run_scheme
+from repro.core.schemes import odq_scheme
+from repro.core.threshold import (
+    SweepColumnCache,
+    adaptive_threshold_search,
+    threshold_sweep,
+)
+
+THETAS = [2.0, 1.0, 0.5, 0.25]
+
+
+def _fresh_engine_points(model, x_calib, x_val, y_val):
+    """The pre-cache procedure: one engine built per threshold."""
+    points = []
+    for theta in THETAS:
+        engine = QuantizedInferenceEngine(model, odq_scheme(float(theta)))
+        try:
+            engine.calibrate(x_calib)
+            acc = engine.evaluate(x_val, y_val)
+            sens = engine.mean_sensitive_fraction()
+        finally:
+            engine.restore()
+        points.append((float(theta), acc, 1.0 - sens, sens))
+    return points
+
+
+class TestSweepEquivalence:
+    def test_sweep_identical_to_fresh_engines(
+        self, trained_resnet, tiny_dataset, calib_batch
+    ):
+        model, _ = trained_resnet
+        x_calib = calib_batch[:16]
+        x_val, y_val = tiny_dataset.x_test[:32], tiny_dataset.y_test[:32]
+
+        expected = _fresh_engine_points(model, x_calib, x_val, y_val)
+        points = threshold_sweep(model, x_calib, x_val, y_val, THETAS)
+        got = [
+            (p.threshold, p.accuracy, p.insensitive_fraction, p.sensitive_fraction)
+            for p in points
+        ]
+        assert got == expected  # byte-identical, not approx
+
+    def test_sweep_restores_model(self, trained_resnet, tiny_dataset, calib_batch):
+        """The shared engine must leave the model weights untouched."""
+        model, _ = trained_resnet
+        before = [p.data.copy() for p in model.parameters()]
+        threshold_sweep(
+            model, calib_batch[:16],
+            tiny_dataset.x_test[:16], tiny_dataset.y_test[:16], THETAS[:2],
+        )
+        after = model.parameters()
+        assert all(np.array_equal(b, a.data) for b, a in zip(before, after))
+
+    def test_search_matches_old_procedure(
+        self, trained_resnet, tiny_dataset, calib_batch
+    ):
+        """Halving search through the shared engine reproduces the
+        fresh-run-per-candidate accuracies exactly."""
+        model, _ = trained_resnet
+        x_calib = calib_batch[:16]
+        x_val, y_val = tiny_dataset.x_test[:32], tiny_dataset.y_test[:32]
+        result = adaptive_threshold_search(
+            model, x_calib, x_val, y_val,
+            max_accuracy_drop=-1.0,  # force full trace
+            start_threshold=1.0, max_halvings=3,
+        )
+        for theta, acc in result.trace:
+            ref, _ = run_scheme(
+                model, odq_scheme(theta), x_calib, x_val, y_val
+            )
+            assert acc == ref
+
+
+class TestCacheAccounting:
+    def test_first_conv_preps_once_per_sweep(self, trained_resnet, calib_batch):
+        """The network input never depends on the threshold, so the first
+        conv's im2col prep must run exactly once across the whole sweep;
+        deeper convs see threshold-dependent inputs and may miss."""
+        model, _ = trained_resnet
+        x = calib_batch[:8]
+        engine = QuantizedInferenceEngine(model, odq_scheme(0.0))
+        cache = SweepColumnCache()
+        try:
+            installed = cache.install(engine)
+            assert installed >= 1
+            engine.calibrate(x)
+            odq_execs = [
+                ex for ex in engine.executors.values()
+                if isinstance(ex, ODQConvExecutor)
+            ]
+            first = odq_execs[0].info.name
+            for theta in THETAS:
+                for ex in odq_execs:
+                    ex.threshold = float(theta)
+                engine.reset_records()
+                engine.forward(x)
+        finally:
+            cache.uninstall()
+            engine.restore()
+        stats = cache.stats()
+        assert stats["prep_calls"][first] == 1
+        assert stats["hits"] >= len(THETAS) - 1
+        # Every layer ran every iteration; misses are bounded by layers x thetas.
+        assert stats["misses"] <= len(odq_execs) * len(THETAS)
+
+    def test_uninstall_detaches_provider(self, trained_resnet, calib_batch):
+        model, _ = trained_resnet
+        engine = QuantizedInferenceEngine(model, odq_scheme(0.5))
+        cache = SweepColumnCache()
+        try:
+            cache.install(engine)
+            cache.uninstall()
+            for ex in engine.executors.values():
+                if isinstance(ex, ODQConvExecutor):
+                    assert ex.cache_provider is None
+        finally:
+            engine.restore()
+
+    def test_lru_eviction_bounds_entries(self):
+        """Per-layer capacity is enforced via LRU eviction."""
+
+        class _FakeExec:
+            class info:
+                name = "conv"
+
+            def _fresh_cache(self, x, compensate):
+                return object()
+
+        cache = SweepColumnCache(capacity_per_layer=2)
+        ex = _FakeExec()
+        xs = [np.full((4,), float(i)) for i in range(5)]
+        for x in xs:
+            cache(ex, x, True)
+        assert cache.stats()["entries"] <= 2
+        assert cache.stats()["prep_calls"]["conv"] == 5
+        # Most-recent entry still hits.
+        cache(ex, xs[-1], True)
+        assert cache.hits == 1
+
+    def test_fingerprint_distinguishes_dtype_and_shape(self):
+        x = np.arange(16, dtype=np.float64)
+        assert SweepColumnCache.fingerprint(x) != SweepColumnCache.fingerprint(
+            x.astype(np.float32)
+        )
+        assert SweepColumnCache.fingerprint(x) != SweepColumnCache.fingerprint(
+            x.reshape(4, 4)
+        )
+        assert SweepColumnCache.fingerprint(x) == SweepColumnCache.fingerprint(
+            x.copy()
+        )

@@ -1,0 +1,132 @@
+"""Result-generation dispatch census through the serving stack.
+
+Three claims: the configured ``exec_path`` is honored end-to-end
+(ServeConfig -> session -> engine executors), the worker pool aggregates
+and publishes per-layer ``exec_*`` gauges to the metrics registry (and
+thus /metrics, Prometheus and JSON alike), and the serving benchmark
+carries both the census and per-worker busy fractions in its report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.exporters import prometheus_text
+from repro.serve.batcher import MicroBatcher
+from repro.serve.bench import PathResult, ServeBenchResult, run_batched
+from repro.serve.config import ServeConfig
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.session import ModelSession
+from repro.serve.worker import WorkerPool
+
+
+def _forced_path_config(exec_path: str) -> ServeConfig:
+    return ServeConfig(
+        model="lenet",
+        scheme="odq",
+        dataset="mnist",
+        train_epochs=0,
+        calib_images=16,
+        max_batch_size=4,
+        max_wait_ms=1.0,
+        workers=1,
+        port=0,
+        exec_path=exec_path,
+    )
+
+
+class TestExecPathHonored:
+    @pytest.mark.parametrize("exec_path", ["dense", "sparse"])
+    def test_forced_path_reaches_executors(self, exec_path):
+        """ServeConfig.exec_path must land on every ODQ executor and the
+        census must show only the forced path dispatched."""
+        sess = ModelSession(_forced_path_config(exec_path))
+        sess.engine.infer(sess.sample_inputs[:2])
+        paths = set()
+        for rec in sess.engine.records.values():
+            extra = getattr(rec, "extra", None) or {}
+            paths |= set(extra.get("exec_path_calls", {}))
+        assert paths == {exec_path}
+
+
+class TestCensusGauges:
+    def _drive(self, session, n: int = 6):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_ms=1.0)
+        metrics = MetricsRegistry()
+        pool = WorkerPool(session, batcher, metrics=metrics, num_workers=2)
+        session.engine.reset_records()
+        with pool:
+            futures = [
+                batcher.submit(
+                    session.sample_inputs[i % len(session.sample_inputs)][None]
+                )
+                for i in range(n)
+            ]
+            for f in futures:
+                f.result(timeout=30)
+            census = pool.exec_census()
+        return metrics, census
+
+    def test_pool_census_sums_rows(self, session):
+        _, census = self._drive(session)
+        assert census, "ODQ session must produce an exec census"
+        for layer, c in census.items():
+            assert c["rows_total"] > 0
+            assert 0 < c["rows_computed"] <= c["rows_total"]
+            assert c["path_calls"] and all(
+                p in ("dense", "sparse") for p in c["path_calls"]
+            )
+
+    def test_gauges_published_per_layer(self, session):
+        metrics, census = self._drive(session)
+        gauges = metrics.as_dict()["gauges"]
+        for layer, c in census.items():
+            assert gauges[f"exec_rows_total:{layer}"] == c["rows_total"]
+            assert gauges[f"exec_rows_computed:{layer}"] == c["rows_computed"]
+            for path, calls in c["path_calls"].items():
+                assert gauges[f"exec_path_calls_{path}:{layer}"] == calls
+
+    def test_prometheus_export_labels_layers(self, session):
+        metrics, census = self._drive(session)
+        text = prometheus_text(metrics.as_dict())
+        layer = next(iter(census))
+        assert "repro_exec_rows_computed{" in text
+        assert f'layer="{layer}"' in text
+
+
+class TestBenchReport:
+    def test_batched_path_collects_census_and_busy(self, session, serve_config):
+        census: dict = {}
+        res = run_batched(session, serve_config, requests=8, seed=0,
+                          census_out=census)
+        assert res.requests == 8
+        assert census, "batched run must fill the census"
+        assert res.worker_busy, "batched run must report worker busy stats"
+        for w in res.worker_busy:
+            assert 0.0 <= w["busy_fraction"]
+            assert {"name", "batches", "images", "busy_seconds"} <= set(w)
+        # Workers can't have been busy longer than wall-clock each.
+        assert all(w["busy_seconds"] <= res.seconds * 1.05 + 0.1
+                   for w in res.worker_busy)
+
+    def test_render_and_dict_carry_new_sections(self, serve_config):
+        result = ServeBenchResult(config=serve_config)
+        result.paths["naive"] = PathResult("naive", 2, 4.0)
+        result.paths["batched"] = PathResult(
+            "batched", 8, 1.0,
+            worker_busy=[{
+                "name": "serve-worker-0", "batches": 3, "images": 8,
+                "busy_seconds": 0.8, "busy_fraction": 0.8,
+            }],
+        )
+        result.exec_census = {
+            "C1": {"rows_total": 100, "rows_computed": 40,
+                   "path_calls": {"sparse": 3}},
+        }
+        text = result.render()
+        assert "worker utilisation" in text
+        assert "dispatch census" in text
+        assert "C1" in text and "sparse:3" in text
+        d = result.as_dict()
+        assert d["batched"]["worker_busy"][0]["busy_fraction"] == 0.8
+        assert d["exec_census"]["C1"]["rows_computed"] == 40
+        assert "worker_busy" not in d["naive"]
