@@ -17,6 +17,9 @@ Commands
     Run the end-to-end quickstart (train, ODQ-retrain, quantize, simulate).
 ``serve``
     Start the batched quantized-inference HTTP server (``repro.serve``).
+``check``
+    Run the project-invariant static analyzer (``repro.checks``) over
+    the source tree; see ``docs/static-analysis.md``.
 ``bench-serve``
     Closed-loop throughput comparison: naive rebuild-per-request vs
     cached session vs cached session + micro-batching.
@@ -190,6 +193,12 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.checks.cli import run_check
+
+    return run_check(args)
+
+
 def _cmd_bench_serve(args) -> int:
     from repro.serve.bench import run_serve_benchmark
 
@@ -296,6 +305,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="requests for the (slow) naive path")
     p_bench.add_argument("--out", default=None,
                          help="also write the table to this file")
+
+    from repro.checks.cli import add_check_arguments
+
+    p_check = sub.add_parser(
+        "check", help="project-invariant static analyzer (repro.checks)",
+        parents=[global_opts],
+    )
+    add_check_arguments(p_check)
     return parser
 
 
@@ -309,6 +326,7 @@ HANDLERS = {
     "quickstart": _cmd_quickstart,
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
+    "check": _cmd_check,
 }
 
 

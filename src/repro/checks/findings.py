@@ -1,0 +1,59 @@
+"""Finding and severity types for the :mod:`repro.checks` analyzer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How seriously a finding should be taken.
+
+    ``ERROR`` findings break a machine-checked invariant (bit-exactness,
+    locking discipline); ``WARNING`` findings are strong heuristics that
+    occasionally need a justified ``# repro: noqa[...]``.  The CLI exit
+    code does not distinguish: *any* unsuppressed finding fails the run,
+    matching the CI gate ("fails on any new finding").
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str              #: rule id, e.g. ``DTY101``
+    severity: Severity
+    path: str              #: file path as given to the engine
+    line: int              #: 1-based line number
+    col: int               #: 0-based column offset
+    message: str           #: human-readable description
+    snippet: str = ""      #: the offending source line, stripped
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def as_dict(self) -> dict:
+        """JSON-safe representation (one row of ``--format json``)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        """``path:line:col: RULE severity message`` (one text-report row)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )
+
+
+__all__ = ["Severity", "Finding"]

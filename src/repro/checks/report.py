@@ -1,0 +1,47 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.checks.findings import Finding
+
+
+def render_text(findings: Sequence[Finding], scanned: int | None = None) -> str:
+    """GCC-style one-line-per-finding report plus a per-rule summary."""
+    if not findings:
+        suffix = f" across {scanned} files" if scanned is not None else ""
+        return f"repro check: clean{suffix} (0 findings)"
+    lines: list[str] = []
+    for f in findings:
+        lines.append(f.render())
+        if f.snippet:
+            lines.append(f"    {f.snippet}")
+    by_rule = Counter(f.rule for f in findings)
+    summary = ", ".join(f"{rid}: {n}" for rid, n in sorted(by_rule.items()))
+    lines.append("")
+    lines.append(
+        f"repro check: {len(findings)} finding(s) — {summary}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], scanned: int | None = None) -> str:
+    """One JSON document: ``{summary: {...}, findings: [...]}``."""
+    by_rule: dict[str, int] = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    doc = {
+        "summary": {
+            "findings": len(findings),
+            "files_scanned": scanned,
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+        "findings": [f.as_dict() for f in findings],
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)
+
+
+__all__ = ["render_text", "render_json"]

@@ -1,0 +1,17 @@
+"""Rule modules — importing this package registers every rule.
+
+Four domain families, one id range each:
+
+* ``DTY1xx`` — dtype-exactness (:mod:`repro.checks.rules.dtype`)
+* ``THR2xx`` — thread-safety (:mod:`repro.checks.rules.threadsafety`)
+* ``OBS3xx`` — obs-discipline (:mod:`repro.checks.rules.obs`)
+* ``NUM4xx`` — numeric-safety (:mod:`repro.checks.rules.numeric`)
+
+Plus the engine-level meta rule ``SUP001`` (suppression without a
+justification), which lives in :mod:`repro.checks.engine` because it is
+emitted during comment parsing, before any rule runs.
+"""
+
+from repro.checks.rules import dtype, numeric, obs, threadsafety
+
+__all__ = ["dtype", "threadsafety", "obs", "numeric"]

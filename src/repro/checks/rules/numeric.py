@@ -1,0 +1,153 @@
+"""Numeric-safety rules (``NUM``).
+
+Invariants: reductions and percentiles raise (or return NaN) on empty
+arrays — and sensitivity masks, threshold searches and metric summaries
+routinely slice arrays down to *possibly nothing* (``err[sens]`` when no
+output is sensitive, a reservoir before the first observation).  Every
+such call needs an emptiness guard, and mask-feeding ratio comparisons
+need ``np.errstate`` so a 0/0 NaN cannot silently become ``False``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.astutil import (
+    call_name,
+    enclosing_function,
+    has_emptiness_guard,
+    under_errstate,
+)
+from repro.checks.engine import FileContext
+from repro.checks.findings import Finding, Severity
+from repro.checks.registry import rule
+
+_PERCENTILE_CALLS = frozenset({
+    "np.percentile", "numpy.percentile", "np.quantile", "numpy.quantile",
+    "np.nanpercentile", "numpy.nanpercentile",
+})
+
+#: Reductions that raise or return NaN on an empty operand.
+_EMPTY_HOSTILE_REDUCTIONS = frozenset({"mean", "max", "min", "std", "ptp"})
+
+
+@rule(
+    id="NUM401",
+    family="numeric",
+    severity=Severity.WARNING,
+    summary="percentile/reduction on a possibly-empty array without a guard",
+    invariant=(
+        "Masked selections (err[sens]) and calibration pools can be "
+        "empty; np.percentile raises and mean()/max() warn-and-NaN on "
+        "empty input — guard with .size/.any()/len() first (see "
+        "repro.obs.hist for the reference edge-case contract)."
+    ),
+)
+def check_unguarded_reduction(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        flagged: str | None = None
+        name = call_name(node)
+        if name in _PERCENTILE_CALLS:
+            flagged = f"{name}(...)"
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _EMPTY_HOSTILE_REDUCTIONS
+            and isinstance(node.func.value, ast.Subscript)
+        ):
+            flagged = f"<masked-selection>.{node.func.attr}()"
+        if flagged is None:
+            continue
+        func = enclosing_function(node, ctx.parents)
+        if has_emptiness_guard(func, node, ctx.parents):
+            continue
+        yield ctx.finding(
+            "NUM401", node,
+            f"{flagged} on a possibly-empty array without an emptiness "
+            "guard — check .size / .any() / len() first",
+        )
+
+
+def _is_size_like(node: ast.AST) -> bool:
+    """Denominators that are plausibly zero: ``x.sum()``, ``x.size``,
+    ``len(x)``, ``x.total``, ``np.count_nonzero(x)``."""
+    if isinstance(node, ast.Attribute) and node.attr in ("size", "total"):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name == "len" or (name or "").endswith("count_nonzero"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "sum":
+            return True
+    return False
+
+
+@rule(
+    id="NUM402",
+    family="numeric",
+    severity=Severity.WARNING,
+    summary="division by a count/sum/len that can be zero, without a guard",
+    invariant=(
+        "Ratios over masked counts (sensitive fraction, bucket shares, "
+        "busy fractions) divide by quantities that are zero on empty "
+        "batches; guard the denominator or wrap in max(x, eps)."
+    ),
+)
+def check_unguarded_division(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div)):
+            continue
+        if not _is_size_like(node.right):
+            continue
+        func = enclosing_function(node, ctx.parents)
+        if has_emptiness_guard(func, node, ctx.parents):
+            continue
+        if under_errstate(node, ctx.parents):
+            continue
+        yield ctx.finding(
+            "NUM402", node,
+            "division by a count/sum that can be zero — guard the "
+            "denominator (.size/.any()/len() check, ternary, or max())",
+        )
+
+
+@rule(
+    id="NUM403",
+    family="numeric",
+    severity=Severity.WARNING,
+    summary="mask built by comparing a division result without np.errstate",
+    invariant=(
+        "`a / b > t` feeds NaN into the mask when b has zeros (0/0), and "
+        "NaN comparisons are silently False — wrap the ratio in "
+        "`with np.errstate(divide=..., invalid=...)` and handle the NaNs, "
+        "or guard the denominator."
+    ),
+)
+def check_ratio_compare_without_errstate(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        sides = [node.left, *node.comparators]
+        if not any(
+            isinstance(s, ast.BinOp) and isinstance(s.op, ast.Div) for s in sides
+        ):
+            continue
+        if under_errstate(node, ctx.parents):
+            continue
+        func = enclosing_function(node, ctx.parents)
+        if has_emptiness_guard(func, node, ctx.parents):
+            continue
+        yield ctx.finding(
+            "NUM403", node,
+            "comparison on a division result without np.errstate — a 0/0 "
+            "NaN compares False and silently drops mask entries",
+        )
+
+
+__all__ = [
+    "check_unguarded_reduction",
+    "check_unguarded_division",
+    "check_ratio_compare_without_errstate",
+]

@@ -106,7 +106,7 @@ class LayerRecord:
 class ConvExecutor:
     """Base class; subclasses implement one quantization scheme's conv."""
 
-    def __init__(self, conv: Conv2d, name: str):
+    def __init__(self, conv: Conv2d, name: str) -> None:
         self.conv = conv
         self.info = ConvLayerInfo.from_conv(conv, name)
         self.record = LayerRecord(info=self.info)

@@ -136,7 +136,7 @@ class ColumnCache:
         padding: int,
         low_bits: int,
         compensate_low_bits: bool = True,
-    ):
+    ) -> None:
         self.qp_a = qp_a
         self.kernel = kernel
         self.stride = stride

@@ -82,7 +82,7 @@ class DRQConvExecutor(ConvExecutor):
         threshold: float | None = None,
         observer: Observer | None = None,
         keep_masks: bool = True,
-    ):
+    ) -> None:
         super().__init__(conv, name)
         if hi_bits <= lo_bits:
             raise ValueError("hi_bits must exceed lo_bits")
@@ -121,9 +121,11 @@ class DRQConvExecutor(ConvExecutor):
         self.qp_a_hi = self.observer.qparams(self.hi_bits, signed=False)
         self.qp_a_lo = self.observer.qparams(self.lo_bits, signed=False)
         if self.threshold is None:
-            if not self._region_samples:
+            if len(self._region_samples) == 0:
                 raise RuntimeError("no calibration data for DRQ threshold")
             pool = np.concatenate(self._region_samples)
+            if pool.size == 0:
+                raise RuntimeError("calibration batches were all empty")
             self.threshold = float(
                 np.quantile(pool, 1.0 - self.target_sensitive)
             )

@@ -349,8 +349,9 @@ def _get_pool(threads: int) -> ThreadPoolExecutor:
 
 
 def _direct(a: np.ndarray, b: np.ndarray, out: np.ndarray | None) -> np.ndarray:
-    _stats.calls += 1
-    _stats.direct_calls += 1
+    with _state_lock:
+        _stats.calls += 1
+        _stats.direct_calls += 1
     if out is None:
         return a @ b
     return np.matmul(a, b, out=out)

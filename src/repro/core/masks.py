@@ -24,7 +24,7 @@ class SensitivityMask:
     mask: np.ndarray
     threshold: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.mask = np.asarray(self.mask, dtype=bool)
         if self.mask.ndim != 4:
             raise ValueError("mask must be (N, C, H, W)")

@@ -91,6 +91,8 @@ def odq_weight_qparams(
     """
     if not 50.0 < percentile <= 100.0:
         raise ValueError("percentile must be in (50, 100]")
+    if w.size == 0:
+        raise ValueError("cannot derive weight qparams from an empty tensor")
     if percentile >= 100.0:
         scale_src = float(np.max(np.abs(w)))
     else:
@@ -277,7 +279,7 @@ class ODQConvExecutor(ConvExecutor):
         threshold_mode: str = "absolute",
         exec_path: str = "auto",
         sparse_crossover: float = SPARSE_ROW_CROSSOVER,
-    ):
+    ) -> None:
         super().__init__(conv, name)
         self.collect_partials = collect_partials
         if threshold < 0:

@@ -17,6 +17,8 @@ the standard fake-quant STE, extended to ignore the mask discontinuity).
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.config import ODQ_LOW_BITS, ODQ_TOTAL_BITS
@@ -41,14 +43,14 @@ class ODQAwareConv2d(Conv2d):
 
     def __init__(
         self,
-        *args,
+        *args: Any,
         threshold: float,
         total_bits: int = ODQ_TOTAL_BITS,
         low_bits: int = ODQ_LOW_BITS,
         weight_percentile: float = 97.0,
         threshold_mode: str = "absolute",
-        **kwargs,
-    ):
+        **kwargs: Any,
+    ) -> None:
         super().__init__(*args, **kwargs)
         self.threshold = threshold
         self.total_bits = total_bits
@@ -62,7 +64,7 @@ class ODQAwareConv2d(Conv2d):
         self.last_sensitive_fraction = 0.0
 
     @classmethod
-    def from_conv(cls, conv: Conv2d, threshold: float, **kwargs) -> "ODQAwareConv2d":
+    def from_conv(cls, conv: Conv2d, threshold: float, **kwargs: Any) -> "ODQAwareConv2d":
         layer = cls(
             conv.in_channels,
             conv.out_channels,
@@ -115,7 +117,7 @@ class ODQAwareConv2d(Conv2d):
         )
         out_data = result["out"]
         if self.threshold_mode == "scaled" and self.training:
-            batch_std = float(result["full"].std())
+            batch_std = float(result["full"].std())  # repro: noqa[NUM401] — dense conv output; nonempty whenever forward ran
             if self.output_std_ema is None:
                 self.output_std_ema = batch_std
             else:

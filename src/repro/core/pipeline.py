@@ -33,7 +33,7 @@ _log = get_logger("repro.core.pipeline")
 class InstrumentedConv(Module):
     """Stand-in module that routes a conv through its scheme executor."""
 
-    def __init__(self, executor: ConvExecutor, engine: "QuantizedInferenceEngine"):
+    def __init__(self, executor: ConvExecutor, engine: "QuantizedInferenceEngine") -> None:
         super().__init__()
         self.executor = executor
         self.engine = engine
@@ -78,7 +78,7 @@ class QuantizedInferenceEngine:
     #: Valid engine modes (see :attr:`mode`).
     MODES = ("calibrate", "run")
 
-    def __init__(self, model: Module, scheme: Scheme, skip_first_conv: bool = False):
+    def __init__(self, model: Module, scheme: Scheme, skip_first_conv: bool = False) -> None:
         self.model = model
         self.scheme = scheme
         self._mode = "calibrate"
@@ -232,6 +232,8 @@ class QuantizedInferenceEngine:
 
     def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 128) -> float:
         """Top-1 accuracy under the quantization scheme."""
+        if len(x) == 0:
+            raise ValueError("cannot evaluate on an empty dataset")
         correct = 0
         for xb, yb in iterate_minibatches(x, y, batch_size):
             logits = self.forward(xb)

@@ -41,7 +41,7 @@ class StaticQuantConvExecutor(ConvExecutor):
         bits: int,
         observer: Observer | None = None,
         mac_key: str | None = None,
-    ):
+    ) -> None:
         super().__init__(conv, name)
         if bits < 2:
             raise ValueError("static quantization needs >= 2 bits")

@@ -14,11 +14,13 @@ from __future__ import annotations
 
 import copy
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.colcache import ColumnCache
 from repro.core.odq import ODQConvExecutor
 from repro.core.odq_qat import finetune_odq
 from repro.core.pipeline import QuantizedInferenceEngine, run_scheme
@@ -48,14 +50,20 @@ class SweepColumnCache:
 
     :attr:`prep_calls` counts actual cache constructions per layer (the
     quantity the sweep amortizes); :attr:`hits`/:attr:`misses` summarize
-    reuse.  Not thread-safe — sweep drivers are single-threaded.
+    reuse.  Store and counters are guarded by an internal lock: sweep
+    drivers are single-threaded, but an engine whose executors carry this
+    provider can be shared with multi-threaded callers (repro.serve
+    workers), and the LRU bookkeeping must not interleave.  The expensive
+    cache *construction* happens outside the lock; a racing duplicate
+    build is benign (content-addressed, last write wins).
     """
 
-    def __init__(self, capacity_per_layer: int = 8):
+    def __init__(self, capacity_per_layer: int = 8) -> None:
         if capacity_per_layer < 1:
             raise ValueError("capacity_per_layer must be >= 1")
         self.capacity_per_layer = capacity_per_layer
-        self._store: "OrderedDict[tuple, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._store: "OrderedDict[tuple, ColumnCache]" = OrderedDict()
         self._per_layer: dict[str, int] = {}
         self.prep_calls: dict[str, int] = {}
         self.hits = 0
@@ -72,27 +80,29 @@ class SweepColumnCache:
         return h.digest()
 
     def __call__(self, executor: ODQConvExecutor, x: np.ndarray,
-                 compensate: bool):
+                 compensate: bool) -> ColumnCache:
         layer = executor.info.name
         key = (layer, self.fingerprint(x), bool(compensate))
-        cache = self._store.get(key)
-        if cache is not None:
-            self._store.move_to_end(key)
-            self.hits += 1
-            return cache
-        self.misses += 1
-        self.prep_calls[layer] = self.prep_calls.get(layer, 0) + 1
+        with self._lock:
+            cache = self._store.get(key)
+            if cache is not None:
+                self._store.move_to_end(key)
+                self.hits += 1
+                return cache
+            self.misses += 1
+            self.prep_calls[layer] = self.prep_calls.get(layer, 0) + 1
         cache = executor._fresh_cache(x, compensate)
-        self._store[key] = cache
-        n = self._per_layer.get(layer, 0) + 1
-        self._per_layer[layer] = n
-        if n > self.capacity_per_layer:
-            # Evict this layer's least-recently-used entry.
-            for k in self._store:
-                if k[0] == layer:
-                    del self._store[k]
-                    self._per_layer[layer] = n - 1
-                    break
+        with self._lock:
+            self._store[key] = cache
+            n = self._per_layer.get(layer, 0) + 1
+            self._per_layer[layer] = n
+            if n > self.capacity_per_layer:
+                # Evict this layer's least-recently-used entry.
+                for k in self._store:
+                    if k[0] == layer:
+                        del self._store[k]
+                        self._per_layer[layer] = n - 1
+                        break
         return cache
 
     # -- wiring ------------------------------------------------------------
@@ -114,12 +124,13 @@ class SweepColumnCache:
         self._installed.clear()
 
     def stats(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "prep_calls": dict(self.prep_calls),
-            "entries": len(self._store),
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "prep_calls": dict(self.prep_calls),
+                "entries": len(self._store),
+            }
 
 
 @dataclass
@@ -198,7 +209,7 @@ class _SharedSweepEngine:
         total_bits: int,
         low_bits: int,
         cache_capacity: int = 8,
-    ):
+    ) -> None:
         self.engine = QuantizedInferenceEngine(
             model, odq_scheme(0.0, total_bits=total_bits, low_bits=low_bits)
         )

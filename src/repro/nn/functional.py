@@ -80,7 +80,7 @@ def conv2d(
 
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     """Affine map ``x @ weight.T + bias`` with ``weight`` of shape (out, in)."""
-    out = x @ weight.transpose()
+    out = x @ weight.transpose()  # repro: noqa[DTY101] — Tensor.__matmul__ routes through core.gemm.pgemm
     if bias is not None:
         out = out + bias
     return out
@@ -160,7 +160,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically-stable softmax built from autograd primitives."""
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     e = shifted.exp()
-    return e / e.sum(axis=axis, keepdims=True)
+    return e / e.sum(axis=axis, keepdims=True)  # repro: noqa[NUM402] — sum of exp() is strictly positive
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:

@@ -26,6 +26,19 @@ import numpy as np
 Array = np.ndarray
 
 
+def _pgemm(a: Array, b: Array) -> Array:
+    """Route 2-D products through the verified GEMM (:mod:`repro.core.gemm`).
+
+    Imported lazily because ``repro.core``'s package init imports
+    ``repro.nn`` modules; a module-level import here would cycle.  After
+    the first call this is one ``sys.modules`` lookup — negligible next
+    to the GEMM itself, and ``pgemm`` is bit-identical to ``a @ b``.
+    """
+    from repro.core.gemm import pgemm
+
+    return pgemm(a, b)
+
+
 def _unbroadcast(grad: Array, shape: tuple[int, ...]) -> Array:
     """Reduce ``grad`` back to ``shape`` by summing over broadcast axes.
 
@@ -240,10 +253,12 @@ class Tensor:
             raise ValueError("matmul supports 2-D operands only")
 
         def backward(g: Array) -> None:
-            self._accumulate(g @ other.data.T)
-            other._accumulate(self.data.T @ g)
+            self._accumulate(_pgemm(np.asarray(g), other.data.T))
+            other._accumulate(_pgemm(self.data.T, np.asarray(g)))
 
-        return Tensor.from_op(self.data @ other.data, (self, other), backward, "matmul")
+        return Tensor.from_op(
+            _pgemm(self.data, other.data), (self, other), backward, "matmul"
+        )
 
     # -- elementwise nonlinearities ------------------------------------------------
 

@@ -52,6 +52,8 @@ def iterate_minibatches(
 
 def evaluate(model: Module, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:
     """Top-1 accuracy of ``model`` on a dataset, in eval mode."""
+    if len(x) == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
     was_training = model.training
     model.eval()
     correct = 0

@@ -52,6 +52,9 @@ class _Config:
     """Mutable process-wide logging configuration."""
 
     def __init__(self):
+        #: Guards every mutation of the fields below; created once so a
+        #: concurrent ``reset()`` can never swap it out from under a waiter.
+        self.lock = threading.Lock()
         self.reset()
 
     def reset(self) -> None:
@@ -64,7 +67,6 @@ class _Config:
         self.stream = None
         #: User-facing stream (``console``).  ``None`` → current stdout.
         self.console_stream = None
-        self.lock = threading.Lock()
 
 
 _CONFIG = _Config()
@@ -77,14 +79,15 @@ def configure(
     console_stream=None,
 ) -> None:
     """Adjust global logging; ``None`` keeps the current value."""
-    if level is not None:
-        _CONFIG.level = _level_no(level)
-    if json_mode is not None:
-        _CONFIG.json_mode = bool(json_mode)
-    if stream is not None:
-        _CONFIG.stream = stream
-    if console_stream is not None:
-        _CONFIG.console_stream = console_stream
+    with _CONFIG.lock:
+        if level is not None:
+            _CONFIG.level = _level_no(level)
+        if json_mode is not None:
+            _CONFIG.json_mode = bool(json_mode)
+        if stream is not None:
+            _CONFIG.stream = stream
+        if console_stream is not None:
+            _CONFIG.console_stream = console_stream
 
 
 def reset() -> None:

@@ -85,6 +85,11 @@ class PercentileObserver(Observer):
 
     def qparams(self, bits: int, signed: bool) -> QParams:
         pool = self._pool()
+        if pool.size == 0:
+            # ``_pool`` raises when no batch was observed at all, but a
+            # reservoir of zero-size batches still concatenates to an
+            # empty pool — and ``np.percentile`` raises on that.
+            raise RuntimeError("observer holds no samples; run calibration first")
         if signed:
             mag = float(np.percentile(np.abs(pool), self.percentile))
             return symmetric_qparams(mag, bits)

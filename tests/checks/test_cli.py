@@ -1,0 +1,72 @@
+"""``repro check`` CLI: exit codes (0/1/2), formats, and dispatch wiring."""
+
+import json
+
+import pytest
+
+from repro.checks.cli import main as check_main
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    f = tmp_path / "clean.py"
+    f.write_text("from repro.obs.log import console\nconsole('ok')\n")
+    return f
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    f = tmp_path / "dirty.py"
+    f.write_text("out = a @ b\nprint(out)\n")
+    return f
+
+
+class TestExitCodes:
+    def test_zero_on_clean(self, clean_file, capsys):
+        assert check_main([str(clean_file)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_one_on_findings(self, dirty_file, capsys):
+        assert check_main([str(dirty_file)]) == 1
+        out = capsys.readouterr().out
+        assert "DTY101" in out and "OBS301" in out
+
+    def test_two_on_unknown_rule(self, clean_file, capsys):
+        assert check_main([str(clean_file), "--rules", "BOGUS123"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_two_on_missing_path(self, capsys):
+        assert check_main(["/no/such/path.py"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestOutput:
+    def test_json_format(self, dirty_file, capsys):
+        assert check_main([str(dirty_file), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["findings"] == len(doc["findings"])
+        assert doc["summary"]["by_rule"].get("DTY101") == 1
+        first = doc["findings"][0]
+        assert {"rule", "severity", "path", "line", "col", "message"} <= set(first)
+
+    def test_rules_filter_narrows_scan(self, dirty_file, capsys):
+        assert check_main([str(dirty_file), "--rules", "OBS301"]) == 1
+        out = capsys.readouterr().out
+        assert "OBS301" in out and "DTY101" not in out
+
+    def test_list_rules(self, capsys):
+        assert check_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rid in ("DTY101", "THR201", "OBS301", "NUM401", "SUP001"):
+            assert rid in out
+
+
+class TestMainDispatch:
+    def test_repro_main_exposes_check(self, dirty_file):
+        from repro.__main__ import HANDLERS, build_parser, main
+
+        assert "check" in HANDLERS
+        parser = build_parser()
+        args = parser.parse_args(["check", str(dirty_file)])
+        assert args.command == "check"
+        assert main(["check", str(dirty_file)]) == 1

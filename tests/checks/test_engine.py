@@ -1,0 +1,103 @@
+"""Engine behaviour: suppression parsing, SUP001 policy, rule selection."""
+
+import pytest
+
+from repro import checks
+from repro.checks.engine import make_context, run_source
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestSuppressionParsing:
+    def test_em_dash_justification(self):
+        ctx = make_context("x = 1  # repro: noqa[DTY101] — operands are masks\n")
+        assert 1 in ctx.suppressions
+        sup = ctx.suppressions[1]
+        assert sup.rule_ids == ("DTY101",)
+        assert sup.justification == "operands are masks"
+        assert not ctx.bad_suppressions
+
+    def test_double_hyphen_and_colon_separators(self):
+        for sep in ("--", ":"):
+            ctx = make_context(f"x = 1  # repro: noqa[NUM402] {sep} denominator > 0\n")
+            assert ctx.suppressions[1].justification == "denominator > 0"
+
+    def test_multiple_rule_ids(self):
+        ctx = make_context("x = 1  # repro: noqa[DTY101, THR201] — startup only\n")
+        assert ctx.suppressions[1].rule_ids == ("DTY101", "THR201")
+
+    def test_noqa_inside_string_literal_is_ignored(self):
+        ctx = make_context('s = "# repro: noqa[DTY101]"\n')
+        assert not ctx.suppressions
+        assert not ctx.bad_suppressions
+
+    def test_missing_justification_is_malformed(self):
+        ctx = make_context("x = 1  # repro: noqa[DTY101]\n")
+        assert not ctx.suppressions
+        assert len(ctx.bad_suppressions) == 1
+
+
+class TestSup001Policy:
+    def test_justification_less_noqa_raises_sup001(self):
+        findings = run_source("a = b @ c  # repro: noqa[DTY101]\n")
+        assert "SUP001" in rules_of(findings)
+        # The underlying finding is NOT suppressed by a malformed noqa.
+        assert "DTY101" in rules_of(findings)
+
+    def test_justified_noqa_suppresses(self):
+        findings = run_source(
+            "a = b @ c  # repro: noqa[DTY101] — routed via Tensor.__matmul__\n"
+        )
+        assert findings == []
+
+    def test_noqa_only_suppresses_named_rule(self):
+        src = "a = b @ c  # repro: noqa[THR201] — wrong rule named\n"
+        findings = run_source(src)
+        assert "DTY101" in rules_of(findings)
+
+
+class TestRuleSelection:
+    def test_rules_filter(self):
+        src = "import numpy as np\na = np.matmul(b, c)\nprint(a)\n"
+        only_obs = run_source(src, rules=["OBS301"])
+        assert rules_of(only_obs) == ["OBS301"]
+        both = run_source(src)
+        assert {"DTY101", "OBS301"} <= set(rules_of(both))
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(KeyError):
+            run_source("x = 1\n", rules=["NOPE999"])
+
+    def test_exempt_path_skips_rule(self):
+        src = "a = b @ c\n"
+        assert rules_of(run_source(src, path="src/repro/core/gemm.py")) == []
+        assert rules_of(run_source(src, path="src/repro/core/odq.py")) == ["DTY101"]
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_parse_finding(self):
+        findings = run_source("def broken(:\n")
+        assert rules_of(findings) == ["PARSE000"]
+
+
+class TestPublicApi:
+    def test_run_accepts_single_path_string(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("a = b @ c\n")
+        findings = checks.run(str(f))
+        assert rules_of(findings) == ["DTY101"]
+        assert findings[0].path.endswith("mod.py")
+
+    def test_run_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            checks.run(["/nonexistent/dir/xyz"])
+
+    def test_findings_are_sorted_and_serializable(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("print(1)\na = b @ c\n")
+        findings = checks.run([str(tmp_path)])
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+        d = findings[0].as_dict()
+        assert {"rule", "severity", "path", "line", "col", "message"} <= set(d)

@@ -1,0 +1,88 @@
+"""DTY1xx fixtures: positive, negative, and noqa-suppressed snippets."""
+
+import textwrap
+
+from repro.checks.engine import run_source
+
+
+def scan(src, **kw):
+    return run_source(textwrap.dedent(src), **kw)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestDTY101UnroutedGemm:
+    def test_matmul_operator_flagged(self):
+        findings = scan("out = a @ b\n")
+        assert rules_of(findings) == ["DTY101"]
+        assert "pgemm" in findings[0].message
+
+    def test_np_matmul_and_dot_flagged(self):
+        src = """
+        import numpy as np
+        x = np.matmul(a, b)
+        y = np.dot(a, b)
+        """
+        assert rules_of(scan(src)) == ["DTY101", "DTY101"]
+
+    def test_pgemm_call_is_clean(self):
+        src = """
+        from repro.core.gemm import pgemm
+        out = pgemm(a, b)
+        """
+        assert scan(src) == []
+
+    def test_gemm_module_is_exempt(self):
+        assert scan("out = a @ b\n", path="src/repro/core/gemm.py") == []
+
+    def test_noqa_suppresses(self):
+        src = "out = x @ w  # repro: noqa[DTY101] — Tensor @ dispatches to pgemm\n"
+        assert scan(src) == []
+
+
+class TestDTY102AstypeDowncast:
+    def test_string_dtype_flagged(self):
+        findings = scan("q = acc.astype('float32')\n")
+        assert rules_of(findings) == ["DTY102"]
+
+    def test_np_attribute_dtype_flagged(self):
+        src = """
+        import numpy as np
+        q = acc.astype(np.int32)
+        """
+        assert rules_of(scan(src)) == ["DTY102"]
+
+    def test_wide_dtypes_clean(self):
+        src = """
+        import numpy as np
+        a = x.astype(np.float64)
+        b = x.astype('int64')
+        c = x.astype(np.uint64)
+        """
+        assert scan(src) == []
+
+    def test_noqa_suppresses(self):
+        src = "img = frame.astype('uint8')  # repro: noqa[DTY102] — display-only buffer\n"
+        assert scan(src) == []
+
+
+class TestDTY103BitplaneFloatArith:
+    def test_fractional_constant_times_plane_flagged(self):
+        findings = scan("out = q_high * 0.5\n")
+        assert rules_of(findings) == ["DTY103"]
+
+    def test_division_on_plane_flagged(self):
+        assert rules_of(scan("out = cols_low / n\n")) == ["DTY103"]
+
+    def test_integral_scale_is_clean(self):
+        # Shifting planes by exact powers of two keeps integers exact.
+        assert scan("out = q_high * 4.0 + q_low\n") == []
+
+    def test_unrelated_names_clean(self):
+        assert scan("ratio = images * 0.5\n") == []
+
+    def test_noqa_suppresses(self):
+        src = "deq = qw * 0.25  # repro: noqa[DTY103] — explicit dequantize scale\n"
+        assert scan(src) == []

@@ -1,0 +1,122 @@
+"""NUM4xx fixtures: positive, negative, and noqa-suppressed snippets."""
+
+import textwrap
+
+from repro.checks.engine import run_source
+
+
+def scan(src, **kw):
+    return run_source(textwrap.dedent(src), **kw)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestNUM401UnguardedReduction:
+    def test_percentile_without_guard_flagged(self):
+        src = """
+        import numpy as np
+
+        def scale(w):
+            return np.percentile(np.abs(w), 99.9)
+        """
+        assert rules_of(scan(src)) == ["NUM401"]
+
+    def test_masked_mean_without_guard_flagged(self):
+        src = """
+        def err_stat(err, sens):
+            return err[sens].mean()
+        """
+        assert rules_of(scan(src)) == ["NUM401"]
+
+    def test_size_guard_is_clean(self):
+        src = """
+        import numpy as np
+
+        def scale(w):
+            if w.size == 0:
+                raise ValueError("empty")
+            return np.percentile(np.abs(w), 99.9)
+        """
+        assert scan(src) == []
+
+    def test_any_guard_is_clean(self):
+        src = """
+        def err_stat(err, sens):
+            if not sens.any():
+                return 0.0
+            return err[sens].mean()
+        """
+        assert scan(src) == []
+
+    def test_noqa_suppresses(self):
+        src = """
+        def batch_std(result):
+            return result["full"].std()  # repro: noqa[NUM401] — dense output, never empty
+        """
+        assert scan(src) == []
+
+
+class TestNUM402UnguardedDivision:
+    def test_division_by_len_flagged(self):
+        src = """
+        def accuracy(correct, x):
+            return correct / len(x)
+        """
+        assert rules_of(scan(src)) == ["NUM402"]
+
+    def test_division_by_size_and_sum_flagged(self):
+        src = """
+        def fractions(mask):
+            a = mask.sum() / mask.size
+            return a
+        """
+        # Denominator `.size` is flagged; the `.sum()` here is a numerator.
+        assert rules_of(scan(src)) == ["NUM402"]
+
+    def test_guarded_division_is_clean(self):
+        src = """
+        def accuracy(correct, x):
+            if len(x) == 0:
+                raise ValueError("empty dataset")
+            return correct / len(x)
+        """
+        assert scan(src) == []
+
+    def test_ternary_max_style_guard_is_clean(self):
+        src = """
+        def share(hits, total):
+            return hits / total.size if total.size else 0.0
+        """
+        assert scan(src) == []
+
+    def test_noqa_suppresses(self):
+        src = """
+        def softmax_norm(e):
+            return e / e.sum()  # repro: noqa[NUM402] — sum of exp() is strictly positive
+        """
+        assert scan(src) == []
+
+
+class TestNUM403RatioCompareWithoutErrstate:
+    def test_ratio_compare_flagged(self):
+        src = """
+        def mask(err, ref, t):
+            return err / ref > t
+        """
+        assert rules_of(scan(src)) == ["NUM403"]
+
+    def test_errstate_wrapped_is_clean(self):
+        src = """
+        import numpy as np
+
+        def mask(err, ref, t):
+            with np.errstate(divide="ignore", invalid="ignore"):
+                m = err / ref > t
+            return np.nan_to_num(m)
+        """
+        assert scan(src) == []
+
+    def test_plain_compare_is_clean(self):
+        assert scan("def f(a, t):\n    return a > t\n") == []

@@ -1,0 +1,106 @@
+"""OBS3xx fixtures: positive, negative, and noqa-suppressed snippets."""
+
+import textwrap
+
+from repro.checks.engine import run_source
+
+
+def scan(src, **kw):
+    return run_source(textwrap.dedent(src), **kw)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestOBS301BarePrint:
+    def test_print_flagged(self):
+        findings = scan("print('hello')\n")
+        assert rules_of(findings) == ["OBS301"]
+        assert "console" in findings[0].message
+
+    def test_stdout_write_flagged(self):
+        src = """
+        import sys
+        sys.stdout.write("x")
+        sys.stderr.write("y")
+        """
+        assert rules_of(scan(src)) == ["OBS301", "OBS301"]
+
+    def test_console_and_logger_are_clean(self):
+        src = """
+        from repro.obs.log import console, get_logger
+        console("user-facing table")
+        get_logger("core.gemm").info("event", k=1)
+        """
+        assert scan(src) == []
+
+    def test_log_module_is_exempt(self):
+        assert scan("print('impl')\n", path="src/repro/obs/log.py") == []
+
+    def test_noqa_suppresses(self):
+        src = "print(banner)  # repro: noqa[OBS301] — pre-logging bootstrap error path\n"
+        assert scan(src) == []
+
+
+class TestOBS302SpanWithoutWith:
+    def test_bare_span_call_flagged(self):
+        src = """
+        from repro.obs import trace
+
+        def f():
+            sp = trace.span("phase")
+            sp.__enter__()
+        """
+        assert rules_of(scan(src)) == ["OBS302"]
+
+    def test_with_span_is_clean(self):
+        src = """
+        from repro.obs import trace
+
+        def f():
+            with trace.span("phase") as sp:
+                sp.add("items", 3)
+        """
+        assert scan(src) == []
+
+    def test_trace_module_is_exempt(self):
+        src = "def span_factory():\n    return span('x')\n"
+        assert scan(src, path="src/repro/obs/trace.py") == []
+
+
+class TestOBS303CounterOutsideSpan:
+    def test_counter_after_with_flagged(self):
+        src = """
+        from repro.obs import trace
+
+        def f():
+            with trace.span("phase") as sp:
+                work()
+            sp.add("items", 3)
+        """
+        findings = scan(src)
+        assert rules_of(findings) == ["OBS303"]
+        assert "sp.add" in findings[0].message
+
+    def test_counter_inside_with_is_clean(self):
+        src = """
+        from repro.obs import trace
+
+        def f():
+            with trace.span("phase") as sp:
+                sp.set("mode", "dense")
+                sp.add("items", 3)
+        """
+        assert scan(src) == []
+
+    def test_unrelated_add_is_clean(self):
+        src = """
+        from repro.obs import trace
+
+        def f(bag):
+            with trace.span("phase") as sp:
+                work()
+            bag.add("not-a-span")
+        """
+        assert scan(src) == []

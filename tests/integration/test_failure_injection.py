@@ -108,7 +108,10 @@ class TestMalformedPipelineUse:
         model = resnet20(scale=0.25, rng=rng)
         engine = QuantizedInferenceEngine(model, static_scheme(8))
         engine.calibrate(rng.uniform(0, 1, (4, 3, 16, 16)))
-        with pytest.raises(ZeroDivisionError):
+        # An empty dataset used to surface as a bare ZeroDivisionError from
+        # `correct / len(x)`; the guarded division (NUM402) raises a
+        # diagnosable ValueError instead.
+        with pytest.raises(ValueError, match="empty dataset"):
             engine.evaluate(np.zeros((0, 3, 16, 16)), np.zeros(0, dtype=int))
         engine.restore()
 

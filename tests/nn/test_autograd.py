@@ -186,6 +186,23 @@ class TestMatmulGrads:
         with pytest.raises(ValueError):
             Tensor(np.ones(3)) @ Tensor(np.ones((3, 2)))
 
+    def test_matmul_bit_identical_to_operator(self):
+        """Tensor @ routes through core.gemm.pgemm (DTY101); pgemm's
+        contract is *bit-identical* results to the serial product, so the
+        rerouting must be invisible down to the last ulp — forward and
+        both gradients."""
+        rng = np.random.default_rng(7)
+        ad = rng.normal(size=(64, 48))
+        bd = rng.normal(size=(48, 32))
+        a = Tensor(ad, requires_grad=True)
+        b = Tensor(bd, requires_grad=True)
+        out = a @ b
+        g = rng.normal(size=out.shape)
+        out.backward(g)
+        assert np.array_equal(out.data, ad @ bd)
+        assert np.array_equal(a.grad, g @ bd.T)
+        assert np.array_equal(b.grad, ad.T @ g)
+
 
 class TestFunctionalGrads:
     def test_conv2d_input_and_weight_grad(self):
