@@ -140,10 +140,25 @@ def _serve_config_from_args(args) -> "ServeConfig":  # noqa: F821 — lazy impor
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         workers=args.workers,
+        replicas=_resolve_replicas(args.replicas),
         gemm_threads=args.gemm_threads,
         host=args.host,
         port=args.port,
     )
+
+
+def _resolve_replicas(raw: str) -> int:
+    """``--replicas N | auto`` → replica count (auto = one per usable core)."""
+    if raw == "auto":
+        from repro.cluster.sizing import recommended_replicas
+
+        return recommended_replicas()
+    try:
+        return int(raw)
+    except ValueError:
+        raise SystemExit(
+            f"--replicas must be an integer or 'auto', got {raw!r}"
+        ) from None
 
 
 def _add_serve_options(parser: argparse.ArgumentParser) -> None:
@@ -166,7 +181,11 @@ def _add_serve_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-wait-ms", type=float, default=2.0,
                         help="max time a batch is held open for more requests")
     parser.add_argument("--workers", type=int, default=2,
-                        help="engine worker threads")
+                        help="engine worker threads (ignored when --replicas > 1)")
+    parser.add_argument("--replicas", default="1", metavar="N|auto",
+                        help="engine replica processes (repro.cluster); 1 = "
+                             "in-process thread pool, 'auto' = one per usable "
+                             "core (sched_getaffinity, capped at 8)")
     parser.add_argument("--gemm-threads", type=int, default=None,
                         help="process-wide GEMM pool width (default: "
                              "REPRO_GEMM_THREADS or min(cpu, 8); 1 disables "
@@ -217,6 +236,9 @@ def _cmd_bench_serve(args) -> int:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(result.render() + "\n")
         console(f"[written to {path}]")
+    if result.bitexact and not result.bitexact["identical"]:
+        console("FAIL: replicated path is not bit-exact vs a single engine")
+        return 1
     return 0
 
 

@@ -1,0 +1,123 @@
+"""Consistent-hash ring: stable session → replica assignment.
+
+Sessions (client affinity keys, or ``(model, scheme, threshold)`` model
+sessions when several are hosted) are routed to replicas through a
+consistent-hash ring so that per-session state — the per-key
+:class:`~repro.serve.session.ModelSession` cache, sweep column caches,
+warmed bit-plane packs — stays resident on one replica instead of being
+rebuilt everywhere.  The classic guarantee (Karger et al.) is what the
+tests pin: adding or removing one of *N* replicas moves at most ~1/N of
+the key space, because only the virtual-node arcs owned by the changed
+replica are reassigned.
+
+The ring hashes with ``blake2b`` (seeded, process-independent — Python's
+builtin ``hash`` is salted per process and would scramble assignments
+across restarts) and places :data:`DEFAULT_VNODES` virtual nodes per
+replica so ownership arcs are evenly sized even for small replica
+counts.
+"""
+
+from __future__ import annotations
+
+import bisect
+from hashlib import blake2b
+from typing import Hashable, Iterable
+
+#: Virtual nodes per replica.  64 keeps the max/min arc-ownership ratio
+#: within ~1.3x for 2-8 replicas while the ring stays tiny (N*64 points).
+DEFAULT_VNODES = 64
+
+
+def stable_hash(key: str, *, salt: str = "") -> int:
+    """64-bit process-independent hash of ``key`` (blake2b digest head)."""
+    h = blake2b(key.encode("utf-8"), digest_size=8, salt=salt.encode()[:16])
+    return int.from_bytes(h.digest(), "big")
+
+
+class HashRing:
+    """Consistent-hash ring over replica ids.
+
+    Not thread-safe by itself: the router mutates it only under its own
+    state lock (membership changes are rare — drain, crash, respawn).
+    """
+
+    def __init__(
+        self, nodes: Iterable[Hashable] = (), vnodes: int = DEFAULT_VNODES
+    ):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: list[int] = []          #: sorted vnode hashes
+        self._owner: dict[int, Hashable] = {}  #: vnode hash -> replica id
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ---------------------------------------------------------
+
+    def _vnode_hashes(self, node: Hashable) -> list[int]:
+        return [
+            stable_hash(f"{node!r}#vn{i}", salt="ring") for i in range(self.vnodes)
+        ]
+
+    def add(self, node: Hashable) -> None:
+        if node in self.nodes():
+            raise ValueError(f"node {node!r} already on the ring")
+        for h in self._vnode_hashes(node):
+            # blake2b collisions across distinct vnode labels are not a
+            # practical concern; last-write-wins keeps this total anyway.
+            if h not in self._owner:
+                bisect.insort(self._points, h)
+            self._owner[h] = node
+
+    def remove(self, node: Hashable) -> None:
+        mine = [h for h, n in self._owner.items() if n == node]
+        if not mine:
+            raise KeyError(f"node {node!r} not on the ring")
+        for h in mine:
+            del self._owner[h]
+            idx = bisect.bisect_left(self._points, h)
+            if idx < len(self._points) and self._points[idx] == h:
+                del self._points[idx]
+
+    def nodes(self) -> set:
+        return set(self._owner.values())
+
+    def __len__(self) -> int:
+        return len(self.nodes())
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self.nodes()
+
+    # -- assignment ---------------------------------------------------------
+
+    def assign(self, key: str) -> Hashable:
+        """The replica owning ``key`` (first vnode clockwise of its hash)."""
+        if not self._points:
+            raise LookupError("ring is empty")
+        h = stable_hash(key, salt="key")
+        idx = bisect.bisect_right(self._points, h) % len(self._points)
+        return self._owner[self._points[idx]]
+
+    def preference(self, key: str, k: int | None = None) -> list:
+        """Distinct replicas in clockwise order from ``key`` (failover list).
+
+        ``preference(key)[0] == assign(key)``; subsequent entries are the
+        replicas that would inherit the key if earlier ones left the ring
+        — the router uses them when the primary is draining or down.
+        """
+        if not self._points:
+            raise LookupError("ring is empty")
+        want = len(self.nodes()) if k is None else k
+        h = stable_hash(key, salt="key")
+        start = bisect.bisect_right(self._points, h)
+        ordered: list = []
+        for i in range(len(self._points)):
+            node = self._owner[self._points[(start + i) % len(self._points)]]
+            if node not in ordered:
+                ordered.append(node)
+                if len(ordered) >= want:
+                    break
+        return ordered
+
+
+__all__ = ["HashRing", "stable_hash", "DEFAULT_VNODES"]

@@ -1,0 +1,232 @@
+"""The replica process: one engine, one control pipe, two arenas.
+
+:func:`replica_main` is the ``multiprocessing`` (spawn) target.  Each
+replica process builds its *own* :class:`~repro.serve.session.ModelSession`
+from the pickled :class:`~repro.serve.config.ServeConfig` — engines hold
+packed bit-plane arrays and per-layer caches that are cheaper to rebuild
+deterministically (same config ⇒ bit-identical weights) than to ship —
+then loops on the control connection:
+
+* ``("req", rid, slot, shape)`` — a request chunk sits in request-arena
+  slot ``slot``; infer it, write the logits into the *same* slot index
+  of the response arena, answer ``("res", rid, slot, out_shape)``.
+  Failures answer ``("err", rid, message)`` and are confined to that
+  request.
+* ``("census",)`` — answer ``("census", densities, exec_census)`` with
+  the per-layer sensitivity densities and result-generation dispatch
+  census of this replica's engine.
+* ``("drain",)`` — finish (the router already stopped sending work),
+  mark the stats row dead, answer ``("drained", replica_id)``, exit 0.
+
+Between messages the loop polls with a short timeout and refreshes its
+heartbeat field in the shared stats block, which is how the supervisor
+distinguishes a busy replica from a dead one.
+
+Test hooks (``config.extra``): ``cluster_echo`` replaces the engine
+with a deterministic array transform (no session build — transport and
+supervision tests run in milliseconds); ``cluster_exit_after=N`` makes
+the replica ``os._exit`` after N batches (crash-recovery tests);
+``cluster_exit_on_start`` exits immediately (backoff tests).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs.log import get_logger
+from repro.serve.config import ServeConfig
+from repro.cluster.shm import ShmArena, ShmStatsBlock
+
+_log = get_logger("repro.cluster.worker")
+
+#: Seconds the worker loop blocks in ``conn.poll`` before refreshing its
+#: heartbeat; bounds both heartbeat staleness and drain latency.
+POLL_SECONDS = 0.1
+
+#: Exit code of a ``cluster_exit_after`` injected crash (distinguishable
+#: from real failures in supervisor logs and tests).
+CRASH_EXIT_CODE = 23
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """Everything a replica process needs, in picklable form."""
+
+    replica_id: int
+    config: ServeConfig
+    req_arena_name: str
+    res_arena_name: str
+    stats_name: str
+    slots: int
+    req_slot_floats: int
+    res_slot_floats: int
+    replicas: int
+
+
+def _echo_transform(chunk: np.ndarray, classes: int) -> np.ndarray:
+    """Deterministic engine stand-in for transport tests.
+
+    Returns the first ``classes`` features of each flattened image
+    (padded by repetition when the image is smaller), so tests can
+    predict exact output bytes without building a model.
+    """
+    flat = chunk.reshape(chunk.shape[0], -1)
+    if flat.shape[1] >= classes:
+        return flat[:, :classes].copy()
+    reps = int(np.ceil(classes / flat.shape[1]))
+    return np.tile(flat, (1, reps))[:, :classes].copy()
+
+
+def _engine_census(engine) -> tuple[dict, dict]:
+    """(layer densities, exec census) of one engine — the per-process
+    analogue of :meth:`repro.serve.worker.WorkerPool.exec_census`."""
+    densities: dict[str, float] = {}
+    census: dict[str, dict] = {}
+    for name, rec in engine.records.items():
+        if rec.outputs_total:
+            densities[name] = rec.sensitive_total / rec.outputs_total
+        extra = getattr(rec, "extra", None) or {}
+        if "exec_path_calls" not in extra:
+            continue
+        census[name] = {
+            "rows_total": int(extra.get("exec_rows_total", 0)),
+            "rows_computed": int(extra.get("exec_rows_computed", 0)),
+            "path_calls": {
+                p: int(c) for p, c in extra["exec_path_calls"].items()
+            },
+        }
+    return densities, census
+
+
+def _census_totals(census: dict) -> tuple[int, int]:
+    total = sum(c["rows_total"] for c in census.values())
+    computed = sum(c["rows_computed"] for c in census.values())
+    return total, computed
+
+
+def replica_main(spec: ReplicaSpec, conn) -> None:
+    """Entry point of one replica process (spawn target)."""
+    # A foreground Ctrl-C reaches the whole process group; shutdown is
+    # the supervisor's job (drain message, then terminate), so replicas
+    # must not die — or spew tracebacks — on the terminal's SIGINT.
+    import signal
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    extra = spec.config.extra or {}
+    if extra.get("cluster_exit_on_start"):
+        os._exit(int(extra.get("cluster_exit_code", CRASH_EXIT_CODE)))
+
+    req_arena = ShmArena(
+        spec.slots, spec.req_slot_floats, name=spec.req_arena_name
+    )
+    try:
+        res_arena = ShmArena(
+            spec.slots, spec.res_slot_floats, name=spec.res_arena_name
+        )
+        try:
+            stats = ShmStatsBlock(spec.replicas, name=spec.stats_name)
+            try:
+                _serve(spec, conn, req_arena, res_arena, stats)
+            finally:
+                stats.close()
+        finally:
+            res_arena.close()
+    finally:
+        req_arena.close()
+        conn.close()
+
+
+def _serve(
+    spec: ReplicaSpec,
+    conn,
+    req_arena: ShmArena,
+    res_arena: ShmArena,
+    stats: ShmStatsBlock,
+) -> None:
+    extra = spec.config.extra or {}
+    echo_classes = int(extra.get("cluster_echo_classes", 10))
+    crash_after = extra.get("cluster_exit_after")
+    engine = None
+    if not extra.get("cluster_echo"):
+        from repro.serve.session import ModelSession
+
+        session = ModelSession(spec.config)
+        engine = session.engine
+
+    rid_row = stats.row(spec.replica_id)
+    rid_row[:] = 0.0
+    stats.set(spec.replica_id, "pid", float(os.getpid()))
+    stats.set(spec.replica_id, "alive", 1.0)
+    stats.set(spec.replica_id, "heartbeat", time.time())
+    conn.send(("ready", spec.replica_id, os.getpid()))
+    _log.info(
+        "replica_up",
+        replica=spec.replica_id,
+        pid=os.getpid(),
+        mode="echo" if engine is None else "engine",
+    )
+
+    batches = 0
+    while True:
+        if not conn.poll(POLL_SECONDS):
+            stats.set(spec.replica_id, "heartbeat", time.time())
+            continue
+        try:
+            msg = conn.recv()
+        except EOFError:
+            # Router vanished; nothing to drain into.
+            break
+        kind = msg[0]
+        if kind == "req":
+            _, rid, slot, shape = msg
+            chunk = req_arena.view(slot, tuple(shape))
+            t0 = time.perf_counter()
+            try:
+                if engine is None:
+                    out = _echo_transform(chunk, echo_classes)
+                else:
+                    out = engine.infer(chunk)
+            except Exception as exc:  # noqa: BLE001 — confined to the request
+                stats.add(spec.replica_id, "errors", 1.0)
+                conn.send(("err", rid, f"{type(exc).__name__}: {exc}"))
+                continue
+            out_shape = res_arena.write(slot, out)
+            conn.send(("res", rid, slot, out_shape))
+            busy = time.perf_counter() - t0
+            batches += 1
+            stats.add(spec.replica_id, "batches", 1.0)
+            stats.add(spec.replica_id, "requests", 1.0)
+            stats.add(spec.replica_id, "images", float(chunk.shape[0]))
+            stats.add(spec.replica_id, "busy_seconds", busy)
+            if engine is not None:
+                _, census = _engine_census(engine)
+                total, computed = _census_totals(census)
+                stats.set(spec.replica_id, "sens_rows_total", float(total))
+                stats.set(spec.replica_id, "sens_rows_computed", float(computed))
+            stats.set(spec.replica_id, "heartbeat", time.time())
+            if crash_after is not None and batches >= int(crash_after):
+                _log.warning(
+                    "replica_injected_crash",
+                    replica=spec.replica_id,
+                    after_batches=batches,
+                )
+                os._exit(CRASH_EXIT_CODE)
+        elif kind == "census":
+            densities, census = (
+                ({}, {}) if engine is None else _engine_census(engine)
+            )
+            conn.send(("census", densities, census))
+        elif kind in ("drain", "stop"):
+            stats.set(spec.replica_id, "alive", 0.0)
+            conn.send(("drained", spec.replica_id))
+            _log.info("replica_drained", replica=spec.replica_id, batches=batches)
+            break
+        else:  # pragma: no cover - protocol error
+            conn.send(("err", None, f"unknown control message {kind!r}"))
+
+
+__all__ = ["ReplicaSpec", "replica_main", "POLL_SECONDS", "CRASH_EXIT_CODE"]

@@ -106,8 +106,27 @@ def _prom_name(name: str, namespace: str) -> str:
 
 
 def _split_labeled(name: str) -> tuple[str, dict]:
-    """``"sensitive_ratio:C1:features.0"`` → (``sensitive_ratio``,
-    ``{"layer": "C1:features.0"}``)."""
+    """Extract embedded labels from a registry metric name.
+
+    Two label syntaxes nest inside flat registry names:
+
+    * ``"base@k=v,k2=v2"`` — explicit labels, e.g. the replica tier's
+      ``requests_total@replica=0`` → ``{"replica": "0"}``.  A malformed
+      pair (no ``=``) falls back to treating the whole suffix as an
+      opaque label value under ``label``.
+    * ``"base:rest"`` — legacy layer shorthand:
+      ``sensitive_ratio:C1:features.0`` → ``{"layer": "C1:features.0"}``.
+    """
+    if "@" in name:
+        base, _, spec = name.partition("@")
+        labels: dict = {}
+        for pair in spec.split(","):
+            key, eq, value = pair.partition("=")
+            if eq and key:
+                labels[key.strip()] = value.strip()
+            else:
+                labels["label"] = pair.strip()
+        return base, labels
     if ":" in name:
         base, layer = name.split(":", 1)
         return base, {"layer": layer}
@@ -141,7 +160,9 @@ def prometheus_text(snapshot, namespace: str = "repro") -> str:
     ``as_dict()`` or the dict itself (``{"counters": {}, "gauges": {},
     "histograms": {name: summary}}``).  Histograms render as Prometheus
     *summaries* (quantile series + ``_sum`` / ``_count``).  Colon-labeled
-    names (``sensitive_ratio:<layer>``) become a ``layer`` label.
+    names (``sensitive_ratio:<layer>``) become a ``layer`` label;
+    ``@k=v,…`` suffixes (``requests_total@replica=0``) become arbitrary
+    labels.
     """
     if hasattr(snapshot, "as_dict"):
         snapshot = snapshot.as_dict()

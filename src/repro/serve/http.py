@@ -12,10 +12,16 @@ JSON-over-POST inference plus operational endpoints:
 =============  ======  ====================================================
 
 ``/predict`` accepts a single image (``C×H×W`` nested lists) under
-``"input"`` or one-or-more images under ``"inputs"`` (``N×C×H×W``).  Each
-request is submitted to the micro-batcher and the handler thread blocks
+``"input"`` or one-or-more images under ``"inputs"`` (``N×C×H×W``), plus
+an optional ``"session"`` string — a replica-affinity key that pins the
+request to its consistent-hash replica when the server runs with
+``--replicas N`` (ignored by the single-process thread pool).  Each
+request is submitted to the active backend and the handler thread blocks
 on its future — ``ThreadingHTTPServer`` gives us one thread per in-flight
-request, which is exactly the producer model the batcher expects.
+request, which is exactly the producer model the backends expect.
+
+During shutdown the server *drains*: ``/predict`` (and ``/healthz``)
+answer **503** while requests already accepted finish on the workers.
 """
 
 from __future__ import annotations
@@ -98,8 +104,9 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         route = parsed.path
         if route == "/healthz":
-            self._send_json(app.health())
+            self._send_json(app.health(), 503 if app.draining else 200)
         elif route == "/metrics":
+            app.refresh_metrics()
             if self._wants_prometheus(parse_qs(parsed.query)):
                 self._send_text(app.metrics.prometheus())
             else:
@@ -114,6 +121,12 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 — stdlib API
         if self.path != "/predict":
             self._send_json({"error": f"no such endpoint {self.path!r}"}, 404)
+            return
+        if self.server.app.draining:
+            # Shutdown in progress: refuse before touching the pool so
+            # clients get a clean retry signal instead of a mid-drain
+            # connection error.
+            self._send_json({"error": "server is draining"}, 503)
             return
         try:
             length = int(self.headers.get("Content-Length", 0))
@@ -150,9 +163,13 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
                 f"(got array of shape {arr.shape})"
             )
 
+        affinity = payload.get("session")
+        if affinity is not None and not isinstance(affinity, str):
+            raise _ClientError('"session" (replica affinity key) must be a string')
+
         t0 = time.perf_counter()
         with trace.span("serve.predict", batch=int(arr.shape[0])):
-            future = app.batcher.submit(arr)
+            future = app.submit(arr, affinity=affinity)
             logits = future.result(timeout=PREDICT_TIMEOUT_SECONDS)
         elapsed_ms = (time.perf_counter() - t0) * 1000.0
         app.metrics.histogram("e2e_ms", "end-to-end /predict latency").observe(

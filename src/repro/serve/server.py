@@ -1,7 +1,8 @@
 """The serving composition root: session cache → batcher → workers → HTTP.
 
 :class:`InferenceServer` wires the pieces of ``repro.serve`` together and
-owns their lifecycles:
+owns their lifecycles.  With ``replicas=1`` (the default) requests flow
+through the in-process thread pool:
 
 .. code-block:: text
 
@@ -10,18 +11,32 @@ owns their lifecycles:
     HTTP /predict ─┘        │                  │
                             └── futures <─ split outputs
 
+With ``replicas > 1`` the same front end drives the multi-process tier
+(:mod:`repro.cluster`) instead — N replica processes fed over
+shared-memory arenas, with consistent-hash session affinity and
+crash-respawn supervision:
+
+.. code-block:: text
+
+    HTTP /predict ──> ClusterPool ──> replica process 0 (engine)
+                        │  router ──> replica process 1 (engine)
+                        └─ futures <── shared-memory logits
+
 Use it embedded (tests, benchmarks)::
 
     with InferenceServer(ServeConfig(model="lenet", port=0)) as server:
         url = server.url  # actual bound port
         ...
 
-or from the CLI: ``python -m repro serve --model lenet --scheme odq``.
+or from the CLI: ``python -m repro serve --model lenet --scheme odq
+--replicas 4``.
 """
 
 from __future__ import annotations
 
 import threading
+
+import numpy as np
 
 from repro.serve.batcher import MicroBatcher
 from repro.serve.config import ServeConfig
@@ -37,8 +52,9 @@ class InferenceServer:
 
     Construction builds (or fetches from ``sessions``) the model session —
     the expensive, amortized-once part — and prepares the batcher and
-    worker pool.  :meth:`start` spawns the worker threads and the HTTP
-    listener; :meth:`shutdown` reverses everything and joins all threads.
+    worker pool (or, for ``config.replicas > 1``, the replica cluster).
+    :meth:`start` spawns the workers and the HTTP listener;
+    :meth:`shutdown` reverses everything and joins all threads.
     """
 
     def __init__(
@@ -52,21 +68,38 @@ class InferenceServer:
         self.verbose = verbose
         self.metrics = MetricsRegistry()
 
+        # The front-end session validates request shapes and describes
+        # itself on /healthz; in cluster mode the replicas build their
+        # own (bit-identical) sessions and this one never infers.
         self.session: ModelSession = self.sessions.get_or_create(self.config)
-        self.batcher = MicroBatcher(
-            max_batch_size=self.config.max_batch_size,
-            max_wait_ms=self.config.max_wait_ms,
-        )
-        self.pool = WorkerPool(
-            self.session,
-            self.batcher,
-            metrics=self.metrics,
-            num_workers=self.config.workers,
-        )
+        self.cluster = None
+        self.batcher: MicroBatcher | None = None
+        self.pool: WorkerPool | None = None
+        if self.config.replicas > 1:
+            from repro.cluster import ClusterPool
+
+            self.cluster = ClusterPool(
+                self.config,
+                input_shape=self.session.input_shape,
+                num_classes=self.session.num_classes,
+                metrics=self.metrics,
+            )
+        else:
+            self.batcher = MicroBatcher(
+                max_batch_size=self.config.max_batch_size,
+                max_wait_ms=self.config.max_wait_ms,
+            )
+            self.pool = WorkerPool(
+                self.session,
+                self.batcher,
+                metrics=self.metrics,
+                num_workers=self.config.workers,
+            )
         self._httpd: ServingHTTPServer | None = None
         self._http_thread: threading.Thread | None = None
         self._started = False
         self._stopped = False
+        self._draining = False
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -74,7 +107,10 @@ class InferenceServer:
         if self._started:
             raise RuntimeError("server already started")
         self._started = True
-        self.pool.start()
+        if self.cluster is not None:
+            self.cluster.start()
+        else:
+            self.pool.start()
         self._httpd = ServingHTTPServer((self.config.host, self.config.port), self)
         self._http_thread = threading.Thread(
             target=self._httpd.serve_forever,
@@ -86,16 +122,32 @@ class InferenceServer:
         return self
 
     def shutdown(self, timeout: float = 5.0) -> None:
-        """Stop HTTP, drain/fail the queue, join workers. Idempotent."""
+        """Graceful stop: refuse new work, close HTTP, then drain workers.
+
+        Order matters.  ``_draining`` flips first so handler threads
+        still in flight answer 503 instead of racing a closing pool;
+        the listening socket closes next (no new connections); only
+        then is the worker tier drained — requests the pool already
+        accepted finish before their engines exit.  Idempotent.
+        """
         if self._stopped:
             return
         self._stopped = True
+        self._draining = True
         if self._httpd is not None:
             self._httpd.shutdown()       # stop serve_forever loop
             self._httpd.server_close()   # release the socket
         if self._http_thread is not None:
             self._http_thread.join(timeout)
-        self.pool.shutdown(timeout)
+        if self.cluster is not None:
+            self.cluster.shutdown(timeout)
+        else:
+            self.pool.shutdown(timeout)
+
+    @property
+    def draining(self) -> bool:
+        """True once shutdown began: /predict answers 503 from here on."""
+        return self._draining
 
     def wait(self, poll_seconds: float = 1.0) -> None:
         """Block the calling thread until the HTTP listener exits."""
@@ -123,24 +175,52 @@ class InferenceServer:
     def url(self) -> str:
         return f"http://{self.config.host}:{self.port}"
 
+    # -- request dispatch ---------------------------------------------------
+
+    def submit(self, arr: np.ndarray, affinity: str | None = None):
+        """Route a request batch to the active backend; returns a Future.
+
+        ``affinity`` (an opaque client session key) only matters in
+        cluster mode, where it pins the request to its consistent-hash
+        replica so per-session cache state stays warm; the thread pool
+        shares one engine set and ignores it.
+        """
+        if self.cluster is not None:
+            return self.cluster.submit(arr, affinity=affinity)
+        return self.batcher.submit(arr)
+
+    def refresh_metrics(self) -> None:
+        """Pull backend-side counters into the registry (scrape-time)."""
+        if self.cluster is not None:
+            self.cluster.refresh_metrics()
+
     # -- endpoint bodies ----------------------------------------------------
 
     def health(self) -> dict:
-        return {
-            "status": "ok",
+        body = {
+            "status": "draining" if self._draining else "ok",
             "session": self.session.describe(),
-            "workers_alive": self.pool.alive_workers,
-            "queue_depth": len(self.batcher),
-            "requests_submitted": self.batcher.submitted,
-            "batches_dispatched": self.batcher.dispatched,
         }
+        if self.cluster is not None:
+            body["replicas"] = self.cluster.liveness()
+            body["replicas_alive"] = self.cluster.alive_replicas
+            body["requests_submitted"] = self.cluster.submitted
+            body["batches_dispatched"] = self.cluster.dispatched
+        else:
+            body["workers_alive"] = self.pool.alive_workers
+            body["queue_depth"] = len(self.batcher)
+            body["requests_submitted"] = self.batcher.submitted
+            body["batches_dispatched"] = self.batcher.dispatched
+        return body
 
     def render_stats(self) -> str:
         """Plain-text operator view: metrics tables + workers + session."""
+        self.refresh_metrics()
         parts = [self.metrics.render(title=f"repro.serve — {self.session.key}")]
+        backend = self.cluster if self.cluster is not None else self.pool
         worker_rows = [
             [s["name"], s["batches"], s["images"], s["errors"], s["busy_seconds"]]
-            for s in self.pool.stats()
+            for s in backend.stats()
         ]
         parts.append(
             ascii_table(

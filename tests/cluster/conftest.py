@@ -1,0 +1,63 @@
+"""Cluster-tier fixtures.
+
+Multi-process tests run replicas in **echo mode** (``cluster_echo`` in
+``config.extra``): the replica skips the engine build and applies a
+deterministic array transform, so transport, routing, supervision, and
+crash-recovery are all exercised in milliseconds per process instead of
+paying a session build per replica.  Engine-backed cluster inference is
+covered by the serving benchmark's bit-exactness gate
+(``repro.serve.bench.run_replicated``) and the scaling benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.config import ServeConfig
+
+#: Echo output width (matches lenet's 10 classes for shape parity).
+ECHO_CLASSES = 10
+
+#: Small image shape so arenas stay tiny and writes are fast.
+ECHO_SHAPE = (1, 8, 8)
+
+
+def echo_config(replicas: int = 2, max_batch_size: int = 4, **extra) -> ServeConfig:
+    return ServeConfig(
+        model="lenet",
+        scheme="odq",
+        dataset="mnist",
+        train_epochs=0,
+        calib_images=32,
+        max_batch_size=max_batch_size,
+        replicas=replicas,
+        port=0,
+        extra={
+            "cluster_echo": True,
+            "cluster_echo_classes": ECHO_CLASSES,
+            **extra,
+        },
+    )
+
+
+def expected_echo(arr: np.ndarray) -> np.ndarray:
+    """What echo-mode replicas return for ``arr`` (first 10 features)."""
+    flat = arr.reshape(arr.shape[0], -1)
+    return flat[:, :ECHO_CLASSES].copy()
+
+
+@pytest.fixture
+def echo_pool():
+    """A started 2-replica echo pool, shut down at test end."""
+    from repro.cluster import ClusterPool
+
+    pool = ClusterPool(
+        echo_config(replicas=2),
+        input_shape=ECHO_SHAPE,
+        num_classes=ECHO_CLASSES,
+    )
+    pool.start()
+    assert pool.wait_ready(timeout=60), "replicas failed to come up"
+    yield pool
+    pool.shutdown()

@@ -1,0 +1,119 @@
+"""Consistent-hash ring properties: stability, balance, failover order."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.hashring import DEFAULT_VNODES, HashRing, stable_hash
+
+KEYS = [f"session-{i}" for i in range(2000)]
+
+
+def assignments(ring: HashRing) -> dict[str, object]:
+    return {k: ring.assign(k) for k in KEYS}
+
+
+class TestStableHash:
+    def test_deterministic_and_salted(self):
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash("abc") != stable_hash("abd")
+        assert stable_hash("abc", salt="x") != stable_hash("abc", salt="y")
+
+    def test_64_bit_range(self):
+        h = stable_hash("anything")
+        assert 0 <= h < 2**64
+
+
+class TestMembership:
+    def test_add_remove_roundtrip(self):
+        ring = HashRing([0, 1, 2])
+        assert len(ring) == 3 and 1 in ring
+        ring.remove(1)
+        assert len(ring) == 2 and 1 not in ring
+        ring.add(1)
+        assert len(ring) == 3
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing([0])
+        with pytest.raises(ValueError):
+            ring.add(0)
+
+    def test_remove_absent_rejected(self):
+        ring = HashRing([0])
+        with pytest.raises(KeyError):
+            ring.remove(7)
+
+    def test_empty_ring_assign_raises(self):
+        with pytest.raises(LookupError):
+            HashRing().assign("k")
+
+
+class TestConsistency:
+    """The Karger guarantee the router's cache warmth relies on."""
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_removing_one_node_moves_at_most_its_share(self, n):
+        ring = HashRing(range(n))
+        before = assignments(ring)
+        ring.remove(n - 1)
+        after = assignments(ring)
+        # Keys NOT owned by the removed node must not move at all ...
+        moved = sum(
+            1
+            for k in KEYS
+            if before[k] != (n - 1) and before[k] != after[k]
+        )
+        assert moved == 0
+        # ... so the total churn is exactly the removed node's share,
+        # which concentration around 1/n bounds at ~2/n for 64 vnodes.
+        displaced = sum(1 for k in KEYS if before[k] == n - 1)
+        assert displaced <= 2 * len(KEYS) / n
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 7])
+    def test_adding_one_node_moves_at_most_its_share(self, n):
+        ring = HashRing(range(n))
+        before = assignments(ring)
+        ring.add(n)
+        after = assignments(ring)
+        # Only keys captured by the new node may change owner.
+        for k in KEYS:
+            if after[k] != before[k]:
+                assert after[k] == n
+        captured = sum(1 for k in KEYS if after[k] == n)
+        assert captured <= 2 * len(KEYS) / (n + 1)
+
+    def test_assignment_is_process_independent(self):
+        # Rebuilt rings agree key-for-key (blake2b, not builtin hash).
+        a, b = HashRing([0, 1, 2]), HashRing([0, 1, 2])
+        assert assignments(a) == assignments(b)
+
+
+class TestBalance:
+    def test_vnode_spread_keeps_ownership_balanced(self):
+        n = 4
+        ring = HashRing(range(n), vnodes=DEFAULT_VNODES)
+        counts = {r: 0 for r in range(n)}
+        for k in KEYS:
+            counts[ring.assign(k)] += 1
+        share = len(KEYS) / n
+        for c in counts.values():
+            assert 0.5 * share <= c <= 1.7 * share
+
+
+class TestPreference:
+    def test_head_matches_assign_and_covers_all_nodes(self):
+        ring = HashRing(range(4))
+        for k in KEYS[:50]:
+            pref = ring.preference(k)
+            assert pref[0] == ring.assign(k)
+            assert sorted(pref) == [0, 1, 2, 3]
+
+    def test_failover_order_is_what_removal_produces(self):
+        # preference()[1] must be the owner after the primary leaves —
+        # that is the whole point of the failover list.
+        ring = HashRing(range(4))
+        for k in KEYS[:50]:
+            primary, fallback = ring.preference(k)[:2]
+            ring.remove(primary)
+            assert ring.assign(k) == fallback
+            ring.add(primary)

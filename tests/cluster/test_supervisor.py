@@ -1,0 +1,121 @@
+"""Supervisor respawn-with-backoff, using a deliberately-exiting worker.
+
+``cluster_exit_on_start`` makes every generation ``os._exit`` before it
+even attaches the arenas, so each spawn is a guaranteed immediate death:
+the supervisor must respawn with exponential backoff and, after
+``max_respawns`` deaths, mark the replica failed and stop trying.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster.supervisor import Supervisor, slot_floats_for
+from repro.cluster.worker import CRASH_EXIT_CODE
+from tests.cluster.conftest import ECHO_SHAPE, echo_config
+
+
+def make_supervisor(extra_cfg=None, **kw):
+    cfg = echo_config(replicas=1, **(extra_cfg or {}))
+    defaults = dict(
+        replicas=1,
+        slots=2,
+        req_slot_floats=slot_floats_for(ECHO_SHAPE, 4),
+        res_slot_floats=40,
+        backoff_base=0.01,
+        backoff_cap=0.05,
+        max_respawns=2,
+    )
+    defaults.update(kw)
+    return Supervisor(cfg, **defaults)
+
+
+class TestBackoffMath:
+    def test_exponential_then_capped(self):
+        sup = make_supervisor(backoff_base=0.25, backoff_cap=4.0)
+        assert sup.backoff_delay(0) == 0.25
+        assert sup.backoff_delay(1) == 0.5
+        assert sup.backoff_delay(2) == 1.0
+        assert sup.backoff_delay(10) == 4.0  # capped
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            make_supervisor(replicas=0)
+        with pytest.raises(ValueError):
+            make_supervisor(slots=0)
+
+    def test_slot_floats_for(self):
+        assert slot_floats_for((1, 8, 8), 4) == 256
+        assert slot_floats_for((3, 32, 32), 2) == 2 * 3 * 32 * 32
+
+
+class TestRespawnToFailure:
+    def test_crash_loop_respawns_then_fails(self):
+        deaths, failures = [], []
+        sup = make_supervisor(
+            extra_cfg={"cluster_exit_on_start": True},
+            on_death=deaths.append,
+            on_failed=failures.append,
+        )
+        sup.start()
+        try:
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if sup.handle(0).state == "failed":
+                    break
+                time.sleep(0.02)
+            handle = sup.handle(0)
+            assert handle.state == "failed"
+            assert not handle.alive
+            assert handle.exitcode == CRASH_EXIT_CODE
+            # Generations 0..max_respawns all ran and died.
+            assert handle.generation == 2
+            assert sup.respawn_count(0) == 2
+            assert deaths == [0, 0, 0]   # one callback per death
+            assert failures == [0]       # exactly one terminal failure
+        finally:
+            sup.stop()
+
+    def test_liveness_reports_failed_state(self):
+        sup = make_supervisor(extra_cfg={"cluster_exit_on_start": True})
+        sup.start()
+        try:
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                rows = sup.liveness()
+                if rows[0]["state"] == "failed":
+                    break
+                time.sleep(0.02)
+            row = sup.liveness()[0]
+            assert row["state"] == "failed"
+            assert row["alive"] is False
+            assert row["respawns"] == 2
+        finally:
+            sup.stop()
+
+
+class TestCleanLifecycle:
+    def test_healthy_replica_survives_and_stops_cleanly(self):
+        sup = make_supervisor()
+        sup.start()
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if sup.stats.get(0, "alive") >= 1.0:
+                    break
+                time.sleep(0.02)
+            assert sup.stats.get(0, "alive") >= 1.0
+            assert sup.handle(0).alive
+            assert sup.respawn_count(0) == 0
+        finally:
+            sup.stop()
+        assert sup.stats is None  # shared memory released
+        assert not sup.handle(0).alive
+
+    def test_stop_is_idempotent(self):
+        sup = make_supervisor()
+        sup.start()
+        sup.stop()
+        sup.stop()

@@ -1,0 +1,82 @@
+"""ServeConfig validation: actionable errors, oversubscription warning."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.obs import log
+from repro.serve.config import ServeConfig
+
+
+@pytest.fixture(autouse=True)
+def _reset_logging():
+    log.reset()
+    yield
+    log.reset()
+
+
+class TestValueErrors:
+    """Every rejection names the field, the constraint, and the value."""
+
+    @pytest.mark.parametrize(
+        "kwargs,needle",
+        [
+            ({"max_batch_size": 0}, "max_batch_size"),
+            ({"max_wait_ms": -1.0}, "max_wait_ms"),
+            ({"workers": 0}, "workers"),
+            ({"replicas": 0}, "replicas"),
+            ({"gemm_threads": 0}, "gemm_threads"),
+            ({"train_epochs": -1}, "train_epochs"),
+            ({"calib_images": 0}, "calib_images"),
+            ({"exec_path": "vectorized"}, "exec_path"),
+        ],
+    )
+    def test_rejects_and_names_field_and_value(self, kwargs, needle):
+        with pytest.raises(ValueError) as exc:
+            ServeConfig(**kwargs)
+        message = str(exc.value)
+        assert needle in message
+        # The offending value itself appears in the message.
+        bad = repr(list(kwargs.values())[0])
+        assert bad.strip("'") in message
+
+    def test_replicas_error_explains_the_modes(self):
+        with pytest.raises(ValueError, match="thread pool"):
+            ServeConfig(replicas=-2)
+
+    def test_valid_config_accepts_replicas(self):
+        cfg = ServeConfig(replicas=4, port=0)
+        assert cfg.replicas == 4
+
+    def test_gemm_threads_none_is_valid(self):
+        assert ServeConfig(gemm_threads=None).gemm_threads is None
+
+
+class TestOversubscriptionWarning:
+    def _build(self, **kwargs) -> str:
+        stream = io.StringIO()
+        log.configure(stream=stream)
+        ServeConfig(port=0, **kwargs)
+        return stream.getvalue()
+
+    def test_warns_when_lanes_exceed_affinity(self):
+        # 64 * 64 lanes exceeds any box this test will ever run on.
+        out = self._build(replicas=64, gemm_threads=64)
+        assert "compute_lanes_oversubscribed" in out
+        assert "lanes=4096" in out
+
+    def test_thread_path_uses_workers_for_lane_count(self):
+        out = self._build(workers=64, gemm_threads=64)
+        assert "compute_lanes_oversubscribed" in out
+
+    def test_silent_when_gemm_threads_ambient(self):
+        # gemm_threads=None is sized from the affinity mask downstream;
+        # warning would be noise.
+        out = self._build(replicas=64)
+        assert "compute_lanes_oversubscribed" not in out
+
+    def test_silent_when_within_budget(self):
+        out = self._build(replicas=1, workers=1, gemm_threads=1)
+        assert "compute_lanes_oversubscribed" not in out
