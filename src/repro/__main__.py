@@ -22,7 +22,12 @@ Commands
     the source tree; see ``docs/static-analysis.md``.
 ``bench-serve``
     Closed-loop throughput comparison: naive rebuild-per-request vs
-    cached session vs cached session + micro-batching.
+    cached session vs cached session + micro-batching; with
+    ``--replicas N --trace --trace-out`` the trace file is the merged
+    multi-process timeline from the telemetry collector.
+``trace-tail``
+    Follow a serving telemetry spool (``serve --telemetry-spool``) —
+    spans and log records from every replica, one line each, live.
 
 Global observability flags (valid before or after the command name):
 ``--trace`` (enable the span tracer), ``--trace-out PATH`` (write the
@@ -144,6 +149,8 @@ def _serve_config_from_args(args) -> "ServeConfig":  # noqa: F821 — lazy impor
         gemm_threads=args.gemm_threads,
         host=args.host,
         port=args.port,
+        drift_band=args.drift_band,
+        telemetry_spool=args.telemetry_spool,
     )
 
 
@@ -193,6 +200,13 @@ def _add_serve_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8321,
                         help="bind port (0 = OS-assigned)")
+    parser.add_argument("--drift-band", type=float, default=0.15,
+                        help="sensitivity-drift alert band: warn when a "
+                             "layer's EWMA sensitive-ratio departs its "
+                             "calibration baseline by more than this")
+    parser.add_argument("--telemetry-spool", default=None, metavar="PATH",
+                        help="append every replica telemetry record to this "
+                             "JSONL file (follow it with `repro trace-tail`)")
 
 
 def _cmd_serve(args) -> int:
@@ -226,6 +240,11 @@ def _cmd_bench_serve(args) -> int:
         requests=args.requests,
         naive_requests=args.naive_requests,
     )
+    # A traced replicated run carries the telemetry collector; let the
+    # --trace-out epilogue export the merged multi-process timeline
+    # instead of just this process's spans.
+    if result.collector is not None:
+        args._collector = result.collector
     console(result.render())
     speedup = result.speedup("batched")
     console(f"\ncached+batched vs naive: {speedup:.1f}x")
@@ -242,21 +261,83 @@ def _cmd_bench_serve(args) -> int:
     return 0
 
 
+def _format_tail_line(line: str) -> str:
+    """One telemetry-spool JSONL record → an aligned human-readable line."""
+    import json
+
+    try:
+        rec = json.loads(line)
+    except ValueError:
+        return line
+    proc = str(rec.get("proc", "?"))
+    if rec.get("kind") == "log":
+        level = str(rec.get("level", "info")).upper()
+        return (f"{proc:<12} log   {level:<8} "
+                f"{rec.get('logger', '-')} {rec.get('event', '')}")
+    attrs = rec.get("attrs") or {}
+    dur_ms = float(rec.get("duration_us", 0.0)) / 1000.0
+    return (f"{proc:<12} span  {str(rec.get('name', '?')):<24} "
+            f"{dur_ms:>9.3f} ms  trace={attrs.get('trace_id', '-')}")
+
+
+def _cmd_trace_tail(args) -> int:
+    import time
+    from pathlib import Path
+
+    path = Path(args.spool)
+    if not args.follow and not path.exists():
+        console(f"trace-tail: no spool at {path}", err=True)
+        return 1
+    pos = 0
+    if args.follow and not args.from_start and path.exists():
+        pos = path.stat().st_size  # tail from the end, like `tail -f`
+    deadline = (
+        None if args.duration is None else time.monotonic() + args.duration
+    )
+    try:
+        while True:
+            if path.exists():
+                with path.open("rb") as fh:
+                    fh.seek(pos)
+                    for raw in fh:
+                        if not raw.endswith(b"\n"):
+                            break  # mid-write partial line; retry next poll
+                        pos += len(raw)
+                        line = raw.decode("utf-8", "replace").rstrip("\n")
+                        console(line if args.raw else _format_tail_line(line))
+            if not args.follow:
+                return 0
+            if deadline is not None and time.monotonic() >= deadline:
+                return 0
+            time.sleep(args.poll)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _global_options() -> argparse.ArgumentParser:
     """Observability flags shared by the root parser and every subcommand."""
     parent = argparse.ArgumentParser(add_help=False)
     group = parent.add_argument_group("observability")
+    # default=SUPPRESS throughout: the subcommand parser (same parent)
+    # parses into a fresh namespace whose values are copied over the
+    # root's, so a plain default would silently clobber flags given
+    # *before* the subcommand (`repro --trace serve ...`).  With
+    # SUPPRESS, an unseen flag sets nothing and the root's value
+    # survives; consumers read these via getattr with fallbacks.
     group.add_argument("--trace", action="store_true",
+                       default=argparse.SUPPRESS,
                        help="enable the span tracer (REPRO_TRACE=1)")
-    group.add_argument("--trace-out", default=None, metavar="PATH",
+    group.add_argument("--trace-out", default=argparse.SUPPRESS,
+                       metavar="PATH",
                        help="write the collected trace to PATH (implies --trace)")
     group.add_argument("--trace-format", choices=["chrome", "jsonl"],
-                       default="chrome",
+                       default=argparse.SUPPRESS,
                        help="trace file format: chrome://tracing JSON or JSONL")
-    group.add_argument("--log-level", default=None,
+    group.add_argument("--log-level", default=argparse.SUPPRESS,
                        choices=["debug", "info", "warning", "error"],
                        help="structured log threshold (REPRO_LOG_LEVEL)")
     group.add_argument("--log-json", action="store_true",
+                       default=argparse.SUPPRESS,
                        help="emit JSON-lines logs (REPRO_LOG_JSON=1)")
     return parent
 
@@ -328,6 +409,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--out", default=None,
                          help="also write the table to this file")
 
+    p_tail = sub.add_parser(
+        "trace-tail",
+        help="follow a serving telemetry spool (spans + logs, live)",
+        parents=[global_opts],
+    )
+    p_tail.add_argument("spool",
+                        help="telemetry spool path (serve --telemetry-spool)")
+    p_tail.add_argument("--follow", action="store_true",
+                        help="keep tailing for new records (Ctrl-C stops); "
+                             "default prints the spool once and exits")
+    p_tail.add_argument("--from-start", action="store_true",
+                        help="with --follow, replay existing records before "
+                             "tailing (default starts at the end)")
+    p_tail.add_argument("--poll", type=float, default=0.5,
+                        help="poll interval in seconds when following")
+    p_tail.add_argument("--duration", type=float, default=None,
+                        help="stop following after this many seconds")
+    p_tail.add_argument("--raw", action="store_true",
+                        help="print raw JSONL records instead of formatting")
+
     from repro.checks.cli import add_check_arguments
 
     p_check = sub.add_parser(
@@ -349,6 +450,7 @@ HANDLERS = {
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
     "check": _cmd_check,
+    "trace-tail": _cmd_trace_tail,
 }
 
 
@@ -369,6 +471,18 @@ def _write_trace(args) -> None:
         return
     from repro.obs import exporters
 
+    collector = getattr(args, "_collector", None)
+    if collector is not None:
+        if getattr(args, "trace_format", "chrome") == "jsonl":
+            path = collector.write_jsonl(trace_out)
+        else:
+            path = collector.write_chrome_trace(trace_out)
+        console(
+            f"[trace: {len(collector.merged())} merged spans across "
+            f"{len(collector.lanes())} lanes written to {path}]",
+            err=True,
+        )
+        return
     spans = getattr(args, "_profile_spans", None)
     if spans is None:
         spans = trace.spans()

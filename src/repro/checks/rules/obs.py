@@ -5,7 +5,9 @@ Invariants (``src/repro/obs/``): all human/machine output flows through
 diagnostics) so ``--log-json`` runs stay machine-parsable; tracer spans
 are opened with ``with trace.span(...)`` so they always close (an
 unbalanced span corrupts the thread-local stack and every nesting
-depth after it); span counters are recorded while the span is open.
+depth after it); span counters are recorded while the span is open;
+request-path spans in serve/cluster code run under an active
+``TraceContext`` so the merged multi-process trace has no orphans.
 """
 
 from __future__ import annotations
@@ -156,8 +158,60 @@ def check_counter_outside_span(ctx: FileContext) -> Iterator[Finding]:
             )
 
 
+#: Directories whose spans sit on the request path and must parent into
+#: the distributed trace (see ``repro.obs.trace.TraceContext``).
+_REQUEST_PATH_DIRS = ("repro/serve/", "repro/cluster/")
+
+#: Calls that establish the active trace context in a function.
+_CONTEXT_CALLS = frozenset({"activate", "request_context"})
+
+
+@rule(
+    id="OBS304",
+    family="obs",
+    severity=Severity.ERROR,
+    summary="request-path span opened without an active TraceContext",
+    invariant=(
+        "Spans in serve/cluster request-handling code must run under the "
+        "request's TraceContext — minted with request_context() at the "
+        "edge or re-activated with activate(ctx) past a thread/process "
+        "hop — or they surface as orphan roots in the merged trace."
+    ),
+    exempt_paths=(
+        # Build-time spans (session construction), not request handling.
+        "repro/serve/session.py",
+    ),
+)
+def check_span_without_trace_context(ctx: FileContext) -> Iterator[Finding]:
+    if not any(d in ctx.posix_path for d in _REQUEST_PATH_DIRS):
+        return
+    for node in ast.walk(ctx.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and terminal_name(node.func) == "span"
+        ):
+            continue
+        func = enclosing_function(node, ctx.parents)
+        if func is None:
+            continue
+        establishes = any(
+            isinstance(n, ast.Call)
+            and terminal_name(n.func) in _CONTEXT_CALLS
+            for n in ast.walk(func)
+        )
+        if establishes:
+            continue
+        yield ctx.finding(
+            "OBS304", node,
+            "span(...) on the request path without an active TraceContext "
+            "— mint one with trace.request_context(...) at the edge or "
+            "re-activate the request's context with activate(ctx) first",
+        )
+
+
 __all__ = [
     "check_bare_print",
     "check_span_without_with",
     "check_counter_outside_span",
+    "check_span_without_trace_context",
 ]

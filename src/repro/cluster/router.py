@@ -52,6 +52,7 @@ from repro.cluster.hashring import HashRing
 from repro.cluster.shm import STATS_FIELDS
 from repro.cluster.sizing import place_chunks, predicted_chunk_cost
 from repro.cluster.supervisor import ReplicaHandle, Supervisor, slot_floats_for
+from repro.obs import trace
 from repro.obs.log import get_logger
 from repro.serve.config import ServeConfig
 from repro.serve.metrics import MetricsRegistry
@@ -119,6 +120,9 @@ class _Chunk:
     submission: _Submission
     arr: np.ndarray      #: (n, C, H, W) float64, router-owned
     offset: int          #: row offset inside the submission output
+    #: Request trace context; rides the chunk through requeues so the
+    #: trace id survives crash-respawn re-dispatch.
+    ctx: "trace.TraceContext | None" = None
 
     @property
     def images(self) -> int:
@@ -174,6 +178,10 @@ class ClusterPool:
         Optional :class:`~repro.serve.metrics.MetricsRegistry`;
         :meth:`refresh_metrics` publishes per-replica labeled counters
         and busy-fraction gauges into it.
+    collector:
+        Optional :class:`~repro.obs.collector.TelemetryCollector`;
+        replica ``("telemetry", payload)`` messages are ingested into it
+        by the I/O threads as they arrive.
     """
 
     def __init__(
@@ -182,6 +190,7 @@ class ClusterPool:
         input_shape: tuple,
         num_classes: int,
         metrics: MetricsRegistry | None = None,
+        collector=None,
         slots: int = DEFAULT_SLOTS,
         backoff_base: float = 0.25,
         backoff_cap: float = 4.0,
@@ -193,6 +202,7 @@ class ClusterPool:
         self.input_shape = tuple(input_shape)
         self.num_classes = int(num_classes)
         self.metrics = metrics
+        self.collector = collector
         self.slots = slots
         self.supervisor = Supervisor(
             config,
@@ -298,14 +308,21 @@ class ClusterPool:
 
     # -- submission ---------------------------------------------------------
 
-    def submit(self, inputs: np.ndarray, affinity: str | None = None) -> Future:
+    def submit(
+        self,
+        inputs: np.ndarray,
+        affinity: str | None = None,
+        ctx: "trace.TraceContext | None" = None,
+    ) -> Future:
         """Enqueue a batch; returns a Future of its ``(n, classes)`` logits.
 
         The batch is cut into deterministic chunks of at most
         ``config.max_batch_size`` images (see the module docstring for
         why boundaries must not depend on load) which are placed onto
         replicas to equalize predicted sensitive-row work — or pinned to
-        ``affinity``'s ring owner when given.
+        ``affinity``'s ring owner when given.  ``ctx`` (the request's
+        :class:`~repro.obs.trace.TraceContext`) rides along on every
+        chunk so replica-side spans parent under the request.
         """
         arr = np.ascontiguousarray(np.asarray(inputs, dtype=np.float64))
         if arr.ndim == 3:
@@ -326,6 +343,7 @@ class ClusterPool:
                 submission=submission,
                 arr=arr[o : o + self.chunk_images],
                 offset=o,
+                ctx=ctx,
             )
             for o in offsets
         ]
@@ -441,10 +459,28 @@ class ClusterPool:
             if probe is not None:
                 conn.send(("census",))
                 continue
-            shape = self.supervisor.req_arenas[st.replica_id].write(
-                slot, chunk.arr
-            )
-            conn.send(("req", seq, slot, shape))
+            ctx = chunk.ctx
+            if ctx is not None and trace.enabled():
+                # Dispatch hop: span under the request's context, then
+                # rebase the wire context onto this span so replica-side
+                # spans parent under the dispatch instead of skipping it.
+                with trace.get_tracer().activate(ctx), trace.span(
+                    "cluster.dispatch",
+                    replica=st.replica_id,
+                    batch=chunk.images,
+                ) as sp:
+                    shape = self.supervisor.req_arenas[st.replica_id].write(
+                        slot, chunk.arr
+                    )
+                    wire = ctx.rebased(
+                        sp.span_id, trace.process_lane()
+                    ).to_wire()
+                    conn.send(("req", seq, slot, shape, wire))
+            else:
+                shape = self.supervisor.req_arenas[st.replica_id].write(
+                    slot, chunk.arr
+                )
+                conn.send(("req", seq, slot, shape, None))
             with self._state_lock:
                 self.dispatched += 1
 
@@ -473,6 +509,9 @@ class ClusterPool:
                 probe = st.probes.popleft() if st.probes else None
             if probe is not None and not probe.future.done():
                 probe.future.set_result((densities, census))
+        elif kind == "telemetry":
+            if self.collector is not None:
+                self.collector.ingest(f"replica-{st.replica_id}", msg[1])
         elif kind == "ready":
             _log.debug("replica_ready", replica=st.replica_id, pid=msg[2])
         # ("drained", ...) is consumed inside _finish_drain.
@@ -490,8 +529,13 @@ class ClusterPool:
             deadline = time.monotonic() + 5.0
             while time.monotonic() < deadline:
                 if conn.poll(0.05):
-                    if conn.recv()[0] == "drained":
+                    msg = conn.recv()
+                    if msg[0] == "drained":
                         break
+                    # The replica ships its final telemetry batch (and
+                    # possibly late results) before the drained ack —
+                    # route them instead of dropping them on the floor.
+                    self._on_message(st, msg)
                 elif not handle.process.is_alive():
                     break
         except (EOFError, BrokenPipeError, OSError):  # pragma: no cover
@@ -707,9 +751,17 @@ class ClusterPool:
                 ).set(max(0.0, min(1.0, frac)))
                 self._busy_window[rid] = (busy_cum, now)
             handle = self.supervisor.handle(rid)
-            m.gauge(f"replica_up@replica={rid}").set(1.0 if handle.alive else 0.0)
-        m.gauge("replicas_alive").set(self.alive_replicas)
-        m.gauge("cluster_sensitive_ratio").set(self.sensitive_ratio())
+            m.gauge(
+                f"replica_up@replica={rid}",
+                "1 while the replica process is alive",
+            ).set(1.0 if handle.alive else 0.0)
+        m.gauge("replicas_alive", "replica processes currently alive").set(
+            self.alive_replicas
+        )
+        m.gauge(
+            "cluster_sensitive_ratio",
+            "cluster-wide sensitive rows computed / rows seen",
+        ).set(self.sensitive_ratio())
 
     def exec_census(self, timeout: float = 5.0) -> dict:
         """Merged per-layer dispatch census across live replicas.

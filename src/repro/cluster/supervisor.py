@@ -29,6 +29,8 @@ import numpy as np
 
 from repro.cluster.shm import ShmArena, ShmStatsBlock
 from repro.cluster.worker import ReplicaSpec, replica_main
+from repro.obs import log as obs_log
+from repro.obs import trace
 from repro.obs.log import get_logger
 from repro.serve.config import ServeConfig
 
@@ -203,6 +205,11 @@ class Supervisor:
 
     def _spawn(self, replica_id: int, generation: int) -> ReplicaHandle:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        # Snapshot the parent's *effective* observability config into
+        # the spec: the spawned child re-reads only the environment,
+        # which misses CLI/programmatic --log-level/--log-json/--trace.
+        level_no = obs_log.get_level()
+        level_name = {v: k for k, v in obs_log.LEVELS.items()}.get(level_no)
         spec = ReplicaSpec(
             replica_id=replica_id,
             config=self.config,
@@ -213,6 +220,9 @@ class Supervisor:
             req_slot_floats=self.req_slot_floats,
             res_slot_floats=self.res_slot_floats,
             replicas=self.replicas,
+            log_level=level_name,
+            log_json=obs_log.json_mode(),
+            trace_enabled=trace.enabled(),
         )
         process = self._ctx.Process(
             target=replica_main,

@@ -1,0 +1,292 @@
+"""Telemetry collector: one merged timeline for the replica cluster.
+
+Replica processes batch their finished spans, structured log records,
+and per-layer sensitivity/exec-path samples and ship them over the
+cluster control pipe (see ``repro/cluster/worker.py``).  The
+:class:`TelemetryCollector` lives in the router/supervisor process and
+merges those batches — plus the local process's own spans — into one
+coherent multi-process timeline:
+
+* **Lanes** — every record carries a ``proc`` lane name
+  (``"main"``/``"router"`` for the local process, ``"replica-<id>"``
+  for replicas); the merged Chrome trace gives each lane its own pid so
+  Perfetto renders per-replica swimlanes.
+* **Clock alignment** — each process's tracer timestamps spans relative
+  to its *own* epoch (``perf_counter`` deltas anchored at
+  ``epoch_wall``).  Payloads ship the replica's ``epoch_wall``; the
+  collector re-bases every span onto absolute wall-clock microseconds
+  (``ts_us = epoch_wall * 1e6 + start_us``), which is a shared clock —
+  all processes run on one host — so cross-lane ordering is correct to
+  wall-clock resolution.
+* **Parentage** — spans parent locally via ``parent_id`` and across
+  processes via the ``parent_ref`` attribute (``"<lane>:<span_id>"``)
+  stamped by :class:`repro.obs.trace.TraceContext` activation;
+  :func:`orphan_spans` verifies every request's spans form one tree.
+
+An optional **spool file** receives every ingested record as a JSON
+line as it arrives — ``repro trace-tail`` follows it live.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.obs import trace
+from repro.obs.log import get_logger
+
+_log = get_logger("repro.obs.collector")
+
+
+def orphan_spans(records: Iterable[dict]) -> list[dict]:
+    """Spans whose parent cannot be resolved within ``records``.
+
+    A span is an orphan when its local ``parent_id`` or cross-process
+    ``parent_ref`` names a span that is not present, or when it carries
+    a ``trace_id`` with neither a parent nor the ``trace_root`` mark —
+    i.e. request work that lost its place in the trace tree.
+    """
+    records = list(records)
+    present = {(r["proc"], r["span_id"]) for r in records}
+    orphans = []
+    for r in records:
+        attrs = r.get("attrs") or {}
+        if r.get("parent_id") is not None:
+            if (r["proc"], r["parent_id"]) not in present:
+                orphans.append(r)
+        elif attrs.get("parent_ref"):
+            lane, _, sid = str(attrs["parent_ref"]).rpartition(":")
+            try:
+                key = (lane, int(sid))
+            except ValueError:
+                orphans.append(r)
+                continue
+            if key not in present:
+                orphans.append(r)
+        elif attrs.get("trace_id") and not attrs.get("trace_root"):
+            orphans.append(r)
+    return orphans
+
+
+def trace_trees(records: Iterable[dict]) -> dict[str, dict]:
+    """Group request spans by trace id: ``{trace_id: {roots, spans}}``.
+
+    ``roots`` are the ``trace_root``-marked spans (exactly one per
+    well-formed request trace); ``spans`` is every record carrying the
+    trace id, root included.
+    """
+    trees: dict[str, dict] = {}
+    for r in records:
+        attrs = r.get("attrs") or {}
+        tid = attrs.get("trace_id")
+        if not tid:
+            continue
+        tree = trees.setdefault(tid, {"roots": [], "spans": []})
+        tree["spans"].append(r)
+        if attrs.get("trace_root"):
+            tree["roots"].append(r)
+    return trees
+
+
+class TelemetryCollector:
+    """Merges replica telemetry batches into one multi-lane timeline.
+
+    Parameters
+    ----------
+    metrics:
+        Optional registry (duck-typed ``MetricsRegistry``) receiving
+        ``telemetry_batches_total`` / ``telemetry_spans_total`` per-lane
+        counters; also handed to ``drift`` observations indirectly.
+    drift:
+        Optional :class:`repro.obs.drift.DriftMonitor`; every ingested
+        payload's per-layer samples are fed to it.
+    spool_path:
+        Optional JSONL spool appended on every ingest (``repro
+        trace-tail`` follows it).  Opened lazily, line-buffered.
+    """
+
+    def __init__(self, metrics=None, drift=None, spool_path: str | Path | None = None):
+        self.metrics = metrics
+        self.drift = drift
+        self.spool_path = Path(spool_path) if spool_path else None
+        self._spool: IO[str] | None = None
+        self._lock = threading.Lock()
+        self._spans: list[dict] = []   #: ingested remote spans (absolute ts_us)
+        self._logs: list[dict] = []    #: ingested remote log records
+        self._lanes: list[str] = []    #: remote lanes, in first-seen order
+        self.batches = 0               #: telemetry payloads ingested
+
+    # -- ingest (router I/O threads) -----------------------------------------
+
+    def ingest(self, lane: str, payload: dict) -> None:
+        """Fold one replica telemetry payload into the merged stream.
+
+        ``payload`` is the dict the replica ships: ``{"lane", "pid",
+        "epoch_wall", "spans": [span dicts], "logs": [log records],
+        "samples": {layer: {...}}}``.  Thread-safe — each router I/O
+        thread ingests its own replica's payloads.
+        """
+        lane = str(payload.get("lane") or lane)
+        epoch_us = float(payload.get("epoch_wall", 0.0)) * 1e6
+        spans = payload.get("spans") or []
+        logs = payload.get("logs") or []
+        rows: list[dict] = []
+        for s in spans:
+            rec = dict(s)
+            rec["proc"] = lane
+            rec["ts_us"] = epoch_us + float(rec.get("start_us", 0.0))
+            rows.append(rec)
+        log_rows = [{**r, "proc": lane} for r in logs]
+        with self._lock:
+            if lane not in self._lanes:
+                self._lanes.append(lane)
+            self._spans.extend(rows)
+            self._logs.extend(log_rows)
+            self.batches += 1
+            self._spool_records(
+                [{"kind": "span", **r} for r in rows]
+                + [{"kind": "log", **r} for r in log_rows]
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                f"telemetry_batches_total@lane={lane}",
+                "telemetry payloads ingested from this lane",
+            ).inc()
+            if rows:
+                self.metrics.counter(
+                    f"telemetry_spans_total@lane={lane}",
+                    "replica spans merged into the collector timeline",
+                ).inc(len(rows))
+        samples = payload.get("samples")
+        if samples and self.drift is not None:
+            self.drift.observe(samples)
+
+    def _spool_records(self, records: list[dict]) -> None:
+        """Append records to the spool (caller holds the lock)."""
+        if self.spool_path is None or not records:
+            return
+        if self._spool is None:
+            self.spool_path.parent.mkdir(parents=True, exist_ok=True)
+            self._spool = self.spool_path.open("a", buffering=1)
+        for rec in records:
+            self._spool.write(json.dumps(rec, default=str,
+                                         separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._spool is not None:
+                self._spool.close()
+                self._spool = None
+
+    # -- merged views --------------------------------------------------------
+
+    def local_records(self) -> list[dict]:
+        """The local process's finished spans as merged-timeline records.
+
+        Non-destructive snapshot of the global tracer (the CLI trace
+        epilogue may still want the raw spans), re-based onto the same
+        absolute wall-clock microseconds as ingested replica spans.
+        """
+        tracer = trace.get_tracer()
+        epoch_us = tracer.epoch_wall * 1e6
+        lane = trace.process_lane()
+        out = []
+        for s in tracer.spans():
+            rec = s.as_dict()
+            rec["proc"] = lane
+            rec["ts_us"] = epoch_us + rec["start_us"]
+            out.append(rec)
+        return out
+
+    def merged(self, include_local: bool = True) -> list[dict]:
+        """All records — remote + (optionally) local — sorted by time."""
+        with self._lock:
+            rows = list(self._spans)
+        if include_local:
+            rows.extend(self.local_records())
+        rows.sort(key=lambda r: r["ts_us"])
+        return rows
+
+    def log_records(self) -> list[dict]:
+        with self._lock:
+            return list(self._logs)
+
+    def lanes(self, include_local: bool = True) -> list[str]:
+        """Lane names in display order (local lane first)."""
+        with self._lock:
+            remote = list(self._lanes)
+        lanes = [trace.process_lane()] if include_local else []
+        lanes += [ln for ln in sorted(remote) if ln not in lanes]
+        return lanes
+
+    def orphans(self, include_local: bool = True) -> list[dict]:
+        """Unparented request spans in the merged stream (should be [])."""
+        return orphan_spans(self.merged(include_local=include_local))
+
+    # -- export --------------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """Merged Chrome trace-event JSON with one pid (lane) per process.
+
+        Timestamps are normalized to the earliest record so the trace
+        opens at t=0; ``args`` carry span attrs/counters including
+        ``trace_id``/``parent_ref`` for cross-lane tree inspection.
+        """
+        rows = self.merged()
+        t0 = min((r["ts_us"] for r in rows), default=0.0)
+        pids = {lane: i + 1 for i, lane in enumerate(self.lanes())}
+        events: list[dict] = []
+        threads: set[tuple[int, int]] = set()
+        for r in rows:
+            pid = pids.setdefault(r["proc"], len(pids) + 1)
+            args = dict(r.get("attrs") or {})
+            args.update(r.get("counters") or {})
+            events.append({
+                "name": r["name"],
+                "ph": "X",
+                "ts": r["ts_us"] - t0,
+                "dur": r.get("duration_us", 0.0),
+                "pid": pid,
+                "tid": r.get("thread_id", 0),
+                "args": args,
+            })
+            key = (pid, r.get("thread_id", 0))
+            if key not in threads:
+                threads.add(key)
+                events.append({
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": key[1],
+                    "args": {"name": r.get("thread_name", f"tid-{key[1]}")},
+                })
+        meta = [
+            {"name": "process_name", "ph": "M", "pid": pid,
+             "args": {"name": lane}}
+            for lane, pid in pids.items()
+        ]
+        return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.chrome_trace(), default=str))
+        return path
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Merged records (spans then logs), one JSON object per line."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [json.dumps({"kind": "span", **r}, default=str,
+                            separators=(",", ":"))
+                 for r in self.merged()]
+        lines += [json.dumps({"kind": "log", **r}, default=str,
+                             separators=(",", ":"))
+                  for r in self.log_records()]
+        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return path
+
+
+__all__ = ["TelemetryCollector", "orphan_spans", "trace_trees"]

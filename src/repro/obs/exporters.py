@@ -153,7 +153,13 @@ def _fmt(value: float) -> str:
     return repr(f)
 
 
-def prometheus_text(snapshot, namespace: str = "repro") -> str:
+def _escape_help(text: str) -> str:
+    """Escape a HELP string per the exposition format (`\\` and newline)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def prometheus_text(snapshot, namespace: str = "repro",
+                    help_texts: dict | None = None) -> str:
     """Render a metrics snapshot as Prometheus text exposition format.
 
     ``snapshot`` is either a ``MetricsRegistry``-like object exposing
@@ -163,14 +169,26 @@ def prometheus_text(snapshot, namespace: str = "repro") -> str:
     names (``sensitive_ratio:<layer>``) become a ``layer`` label;
     ``@k=v,…`` suffixes (``requests_total@replica=0``) become arbitrary
     labels.
+
+    ``help_texts`` maps *raw registry names* (labels still embedded) to
+    help strings; each family's first non-empty help renders as a
+    ``# HELP`` line immediately before its ``# TYPE``.
     """
+    if hasattr(snapshot, "help_texts") and help_texts is None:
+        help_texts = snapshot.help_texts()
     if hasattr(snapshot, "as_dict"):
         snapshot = snapshot.as_dict()
+    help_texts = help_texts or {}
     out: list[str] = []
     typed: "OrderedDict[str, str]" = OrderedDict()
 
-    def header(name: str, kind: str) -> None:
+    def header(name: str, kind: str, *keys: str) -> None:
         if typed.get(name) != kind:
+            help_text = next(
+                (help_texts[k] for k in keys if help_texts.get(k)), ""
+            )
+            if help_text:
+                out.append(f"# HELP {name} {_escape_help(help_text)}")
             out.append(f"# TYPE {name} {kind}")
             typed[name] = kind
 
@@ -179,19 +197,19 @@ def prometheus_text(snapshot, namespace: str = "repro") -> str:
         pname = _prom_name(base, namespace)
         if not pname.endswith("_total"):
             pname += "_total"
-        header(pname, "counter")
+        header(pname, "counter", name, base)
         out.append(f"{pname}{_labels(labels)} {_fmt(value)}")
 
     for name, value in snapshot.get("gauges", {}).items():
         base, labels = _split_labeled(name)
         pname = _prom_name(base, namespace)
-        header(pname, "gauge")
+        header(pname, "gauge", name, base)
         out.append(f"{pname}{_labels(labels)} {_fmt(value)}")
 
     for name, summary in snapshot.get("histograms", {}).items():
         base, labels = _split_labeled(name)
         pname = _prom_name(base, namespace)
-        header(pname, "summary")
+        header(pname, "summary", name, base)
         for q, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
             qlabels = dict(labels)
             qlabels["quantile"] = q

@@ -35,6 +35,23 @@ Usage::
 Enable globally with ``REPRO_TRACE=1`` in the environment, the CLI
 ``--trace`` flag, or :func:`enable` / :func:`Tracer.collect` from code.
 Export finished spans with :mod:`repro.obs.exporters`.
+
+Distributed tracing
+-------------------
+
+Spans parent through thread-local stacks, which stops at thread and
+process boundaries.  A :class:`TraceContext` carries the identity of a
+remote parent span — ``(trace_id, span_id, origin lane, request key)``
+— across those boundaries: the HTTP tier mints one per request with
+:func:`request_context`, the batcher/router serialize it alongside the
+work (:meth:`TraceContext.to_wire` is a picklable tuple, small enough
+for the cluster control pipe), and the consuming thread or replica
+process re-activates it with :func:`activate`.  While a context is
+active, every new span records the ``trace_id`` and thread-root spans
+record a ``parent_ref`` (``"<lane>:<span_id>"``) pointing at the remote
+parent, which is how :mod:`repro.obs.collector` stitches spans from
+many processes into one tree per request.  Each process names its lane
+with :func:`set_process_lane` (``"router"``, ``"replica-0"``, …).
 """
 
 from __future__ import annotations
@@ -43,6 +60,7 @@ import functools
 import os
 import threading
 import time
+import uuid
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -55,6 +73,69 @@ _TRUTHY = frozenset({"1", "true", "yes", "on"})
 
 def _env_enabled(var: str = "REPRO_TRACE") -> bool:
     return os.environ.get(var, "").strip().lower() in _TRUTHY
+
+
+#: Name of this process's lane in merged multi-process traces.  The
+#: router/front-end process keeps the default; replicas call
+#: :func:`set_process_lane` ("replica-<id>") right after spawn.
+_PROCESS_LANE = "main"
+_LANE_LOCK = threading.Lock()
+
+
+def set_process_lane(name: str) -> None:
+    """Name this process's lane in merged traces (e.g. ``replica-0``)."""
+    global _PROCESS_LANE
+    with _LANE_LOCK:
+        _PROCESS_LANE = str(name)
+
+
+def process_lane() -> str:
+    """This process's lane name (``"main"`` unless set)."""
+    return _PROCESS_LANE
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit request trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity of a remote parent span, picklable for transport.
+
+    ``origin`` is the :func:`process_lane` of the process that owns
+    ``span_id`` — together they name the parent globally, so a span
+    opened in another thread or process can parent under it even though
+    span ids are only unique per-process.  ``key`` carries the client's
+    replica-affinity/session key (purely informational here).
+    """
+
+    trace_id: str
+    span_id: int
+    origin: str
+    key: str | None = None
+
+    def parent_ref(self) -> str:
+        """Globally-unique reference to the parenting span."""
+        return f"{self.origin}:{self.span_id}"
+
+    def to_wire(self) -> tuple:
+        """Plain-tuple form for pipes/pickles (see :meth:`from_wire`)."""
+        return (self.trace_id, self.span_id, self.origin, self.key)
+
+    @classmethod
+    def from_wire(cls, wire: tuple | None) -> "TraceContext | None":
+        if wire is None:
+            return None
+        return cls(str(wire[0]), int(wire[1]), str(wire[2]), wire[3])
+
+    def rebased(self, span_id: int, origin: str) -> "TraceContext":
+        """The same trace, re-parented under a new local span.
+
+        Used at hop points (router dispatch) so downstream spans parent
+        under the hop's span instead of skipping a level.
+        """
+        return TraceContext(self.trace_id, span_id, origin, self.key)
 
 
 @dataclass
@@ -151,6 +232,15 @@ class _ActiveSpan:
         self.parent_id = stack[-1].span_id if stack else None
         self.depth = len(stack)
         self.span_id = tracer._next_id()
+        ctx = tracer.current_context()
+        if ctx is not None:
+            attrs = self.attrs
+            if "trace_id" not in attrs:
+                attrs["trace_id"] = ctx.trace_id
+            if self.parent_id is None and "parent_ref" not in attrs:
+                # Thread-root span under an active context: parent to
+                # the remote span the context names.
+                attrs["parent_ref"] = ctx.parent_ref()
         stack.append(self)
         self._start = time.perf_counter()
         return self
@@ -251,6 +341,41 @@ class Tracer:
             return NOOP_SPAN
         return stack[-1]
 
+    # -- trace-context propagation -------------------------------------------
+
+    @contextmanager
+    def activate(self, ctx: "TraceContext | None"):
+        """Make ``ctx`` the active trace context on this thread.
+
+        While active, new spans record the trace id and thread-root
+        spans parent to the context's remote span (``parent_ref``).
+        ``activate(None)`` is a no-op so call sites can pass optional
+        contexts through unconditionally.
+        """
+        if ctx is None:
+            yield None
+            return
+        stack = self._ctx_stack()
+        stack.append(ctx)
+        try:
+            yield ctx
+        finally:
+            stack.pop()
+
+    def current_context(self) -> "TraceContext | None":
+        """The innermost active :class:`TraceContext` on this thread."""
+        stack = getattr(self._local, "ctx", None)
+        if not stack:
+            return None
+        return stack[-1]
+
+    def _ctx_stack(self) -> list:
+        stack = getattr(self._local, "ctx", None)
+        if stack is None:
+            stack = []
+            self._local.ctx = stack
+        return stack
+
     @contextmanager
     def collect(self, reset: bool = True):
         """Temporarily enable the tracer; yields the tracer itself.
@@ -293,6 +418,18 @@ class Tracer:
         """Snapshot of finished spans, in completion order."""
         with self._lock:
             return list(self._spans)
+
+    def drain(self) -> list[SpanRecord]:
+        """Atomically take (and clear) all finished spans.
+
+        The replica telemetry loop uses this to ship each span exactly
+        once; the epoch is deliberately left untouched so drained
+        batches stay on one timeline.
+        """
+        with self._lock:
+            out = list(self._spans)
+            self._spans.clear()
+        return out
 
     def __len__(self) -> int:
         with self._lock:
@@ -350,8 +487,44 @@ def spans() -> list[SpanRecord]:
     return _GLOBAL.spans()
 
 
+def drain() -> list[SpanRecord]:
+    """Module-level :meth:`Tracer.drain` on the global tracer."""
+    return _GLOBAL.drain()
+
+
+def activate(ctx: TraceContext | None):
+    """Module-level :meth:`Tracer.activate` on the global tracer."""
+    return _GLOBAL.activate(ctx)
+
+
+def current_context() -> TraceContext | None:
+    """Module-level :meth:`Tracer.current_context` on the global tracer."""
+    return _GLOBAL.current_context()
+
+
+@contextmanager
+def request_context(name: str, key: str | None = None, **attrs):
+    """Mint and activate a fresh request trace: the trace-tree root.
+
+    Opens a root span ``name`` (tagged ``trace_root`` so the collector
+    can tell genuine roots from orphans), builds a :class:`TraceContext`
+    parenting to it, and activates the context for the block.  Yields
+    ``(span, ctx)``; when tracing is disabled both the span and the
+    context are no-ops (``NOOP_SPAN``, ``None``) and nothing is minted.
+    """
+    if not _GLOBAL._enabled:
+        yield NOOP_SPAN, None
+        return
+    tid = new_trace_id()
+    with span(name, trace_id=tid, trace_root=True, **attrs) as sp:
+        ctx = TraceContext(tid, sp.span_id, process_lane(), key)
+        with _GLOBAL.activate(ctx):
+            yield sp, ctx
+
+
 __all__ = [
     "SpanRecord",
+    "TraceContext",
     "Tracer",
     "NOOP_SPAN",
     "DEFAULT_MAX_SPANS",
@@ -365,4 +538,11 @@ __all__ = [
     "current",
     "collect",
     "spans",
+    "drain",
+    "activate",
+    "current_context",
+    "request_context",
+    "new_trace_id",
+    "set_process_lane",
+    "process_lane",
 ]

@@ -36,6 +36,9 @@ class _Request:
     inputs: np.ndarray  # (n, C, H, W)
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.perf_counter)
+    #: The submitting request's trace context (or None) — carried so the
+    #: worker's batch span can parent under the HTTP request span.
+    ctx: object | None = None
 
     @property
     def n(self) -> int:
@@ -61,6 +64,14 @@ class MicroBatch:
     def queue_waits(self) -> list[float]:
         """Seconds each request spent queued before dispatch."""
         return [self.created_at - r.enqueued_at for r in self.requests]
+
+    def trace_contexts(self) -> list:
+        """Distinct non-None request trace contexts, in submit order."""
+        out: list = []
+        for r in self.requests:
+            if r.ctx is not None and r.ctx not in out:
+                out.append(r.ctx)
+        return out
 
     def complete(self, outputs: np.ndarray) -> None:
         """Split stacked engine outputs back to per-request futures."""
@@ -113,12 +124,14 @@ class MicroBatcher:
 
     # -- producer side ------------------------------------------------------
 
-    def submit(self, inputs: np.ndarray) -> Future:
+    def submit(self, inputs: np.ndarray, ctx=None) -> Future:
         """Enqueue one request; returns a Future of its output rows.
 
         ``inputs`` may be a single image ``(C, H, W)`` or a small batch
         ``(n, C, H, W)``; the future resolves to the matching ``(n,
-        num_classes)`` logits rows.
+        num_classes)`` logits rows.  ``ctx`` is the request's optional
+        :class:`~repro.obs.trace.TraceContext`, handed to the consuming
+        worker for span parentage.
         """
         arr = np.asarray(inputs, dtype=np.float64)
         if arr.ndim == 3:
@@ -127,7 +140,7 @@ class MicroBatcher:
             raise ValueError(
                 f"expected (C,H,W) or (N,C,H,W) input, got shape {arr.shape}"
             )
-        req = _Request(arr)
+        req = _Request(arr, ctx=ctx)
         with self._cond:
             if self._closed:
                 raise BatcherClosed("batcher is shut down")

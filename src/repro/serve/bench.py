@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import trace
 from repro.serve.batcher import MicroBatcher
 from repro.serve.config import ServeConfig
 from repro.serve.metrics import MetricsRegistry
@@ -78,6 +79,10 @@ class ServeBenchResult:
     #: Replicated-path bit-exactness gate: ``{"requests", "identical",
     #: "max_abs_diff"}``; empty unless ``config.replicas > 1``.
     bitexact: dict = field(default_factory=dict)
+    #: :class:`~repro.obs.collector.TelemetryCollector` holding the merged
+    #: multi-process trace; set only when the replicated path ran with the
+    #: tracer enabled (``repro --trace bench-serve --replicas N``).
+    collector: object = None
 
     def speedup(self, path: str, baseline: str = "naive") -> float:
         return (
@@ -280,14 +285,37 @@ def run_replicated(
     seed: int,
     census_out: dict | None = None,
     bitexact_out: dict | None = None,
+    collector_out: list | None = None,
 ) -> PathResult:
     """The multi-process replica tier, all requests in flight.
 
     Besides throughput, this path verifies the cluster's core numerical
     contract: every response must be byte-identical to a single engine
     running the same deterministic chunks (``bitexact_out``).
+
+    With the tracer enabled, each request is minted a
+    :class:`~repro.obs.trace.TraceContext` and the pool ships replica
+    telemetry to a :class:`~repro.obs.collector.TelemetryCollector`
+    (appended to ``collector_out``), so one bench run yields the full
+    merged multi-process trace.
     """
     from repro.cluster import ClusterPool
+
+    collector = None
+    if trace.enabled():
+        from repro.obs.collector import TelemetryCollector
+
+        collector = TelemetryCollector()
+        if collector_out is not None:
+            collector_out.append(collector)
+
+    def submit(pool, arr: np.ndarray) -> Future:
+        if collector is None:
+            return pool.submit(arr)
+        with trace.request_context(
+            "bench.request", batch=int(arr.shape[0])
+        ) as (_sp, ctx):
+            return pool.submit(arr, ctx=ctx)
 
     images = _mixed_requests(session, requests, seed + 4, config.max_batch_size)
     pool = ClusterPool(
@@ -295,18 +323,19 @@ def run_replicated(
         input_shape=session.input_shape,
         num_classes=session.num_classes,
         metrics=MetricsRegistry(),
+        collector=collector,
     )
     with pool:
         # Exclude replica startup (process spawn + session build) and a
         # first warm-up round from the timed window — the other paths'
         # engines are warm by this point too.
         pool.wait_ready(timeout=120)
-        warmup = [pool.submit(images[0][:1]) for _ in range(2 * config.replicas)]
+        warmup = [submit(pool, images[0][:1]) for _ in range(2 * config.replicas)]
         for fut in warmup:
             fut.result(timeout=240)
         before = {w["name"]: w for w in pool.stats()}
         t0 = time.perf_counter()
-        futures: list[Future] = [pool.submit(arr) for arr in images]
+        futures: list[Future] = [submit(pool, arr) for arr in images]
         outputs = [fut.result(timeout=240) for fut in futures]
         elapsed = time.perf_counter() - t0
         worker_busy = []
@@ -364,10 +393,14 @@ def run_serve_benchmark(
         session, config, requests, config.seed, census_out=result.exec_census
     )
     if config.replicas > 1:
+        collectors: list = []
         result.paths["replicated"] = run_replicated(
             session, config, requests, config.seed,
             bitexact_out=result.bitexact,
+            collector_out=collectors,
         )
+        if collectors:
+            result.collector = collectors[0]
     return result
 
 

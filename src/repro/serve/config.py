@@ -69,6 +69,17 @@ class ServeConfig:
         ``docs/serving.md``).
     host / port:
         Bind address.  ``port=0`` asks the OS for a free port (tests).
+
+    Observability
+    -------------
+    drift_band:
+        Alert band for the sensitivity drift monitor
+        (:mod:`repro.obs.drift`): a layer whose EWMA sensitive ratio
+        moves more than this from its calibration baseline flips its
+        ``drift_alert`` gauge and logs a warning.
+    telemetry_spool:
+        Optional path of a JSONL spool the telemetry collector appends
+        merged records to live (``repro trace-tail`` follows it).
     """
 
     model: str = "lenet"
@@ -88,6 +99,9 @@ class ServeConfig:
     gemm_threads: int | None = None
     host: str = "127.0.0.1"
     port: int = 8321
+
+    drift_band: float = 0.15
+    telemetry_spool: str | None = None
 
     extra: dict = field(default_factory=dict, compare=False)
 
@@ -119,6 +133,10 @@ class ServeConfig:
         if self.exec_path not in ("auto", "dense", "sparse"):
             raise ValueError(
                 f"exec_path must be auto|dense|sparse, got {self.exec_path!r}"
+            )
+        if self.drift_band <= 0:
+            raise ValueError(
+                f"drift_band must be positive, got {self.drift_band}"
             )
         self._warn_if_oversubscribed()
 

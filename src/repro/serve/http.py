@@ -168,8 +168,13 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
             raise _ClientError('"session" (replica affinity key) must be a string')
 
         t0 = time.perf_counter()
-        with trace.span("serve.predict", batch=int(arr.shape[0])):
-            future = app.submit(arr, affinity=affinity)
+        # Mint the request's trace context here — the outermost point
+        # that knows the request — and hand it to the backend so worker
+        # threads and replica processes parent under this span.
+        with trace.request_context(
+            "serve.predict", key=affinity, batch=int(arr.shape[0])
+        ) as (_sp, ctx):
+            future = app.submit(arr, affinity=affinity, ctx=ctx)
             logits = future.result(timeout=PREDICT_TIMEOUT_SECONDS)
         elapsed_ms = (time.perf_counter() - t0) * 1000.0
         app.metrics.histogram("e2e_ms", "end-to-end /predict latency").observe(

@@ -115,17 +115,36 @@ class MetricsRegistry:
             "histograms": {h.name: h.summary() for h in histograms},
         }
 
+    def help_texts(self) -> dict:
+        """``{raw metric name: help string}`` for every named metric.
+
+        Keys keep their embedded labels (``requests_total@replica=0``);
+        the Prometheus exporter resolves them per family when emitting
+        ``# HELP`` metadata.
+        """
+        with self._lock:
+            metrics = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            )
+        return {m.name: m.help for m in metrics if m.help}
+
     def prometheus(self, namespace: str = "repro") -> str:
         """Prometheus text exposition of the whole registry.
 
         Counters render as ``counter`` (``_total`` suffix enforced),
         gauges as ``gauge``, histograms as ``summary`` with
         p50/p95/p99 quantile series.  Colon-labeled names such as
-        ``sensitive_ratio:<layer>`` become a ``layer`` label.
+        ``sensitive_ratio:<layer>`` become a ``layer`` label.  Each
+        family carries ``# HELP``/``# TYPE`` metadata from the help
+        strings given at metric creation.
         """
         from repro.obs.exporters import prometheus_text
 
-        return prometheus_text(self.as_dict(), namespace=namespace)
+        return prometheus_text(
+            self.as_dict(), namespace=namespace, help_texts=self.help_texts()
+        )
 
     def render(self, title: str = "serving metrics") -> str:
         """ASCII tables of the whole registry (the ``/stats`` body)."""

@@ -38,6 +38,8 @@ import threading
 
 import numpy as np
 
+from repro.obs.collector import TelemetryCollector
+from repro.obs.drift import DriftMonitor, baseline_from_engine
 from repro.serve.batcher import MicroBatcher
 from repro.serve.config import ServeConfig
 from repro.serve.http import ServingHTTPServer
@@ -72,17 +74,32 @@ class InferenceServer:
         # itself on /healthz; in cluster mode the replicas build their
         # own (bit-identical) sessions and this one never infers.
         self.session: ModelSession = self.sessions.get_or_create(self.config)
+        # Drift monitor baseline: the front-end session calibrated at
+        # build, so its engine records hold the calibration-set per-layer
+        # sensitive ratios the paper's scheme anchored on.
+        self.drift = DriftMonitor(
+            baseline=baseline_from_engine(self.session.engine),
+            band=self.config.drift_band,
+            metrics=self.metrics,
+        )
+        self.collector: TelemetryCollector | None = None
         self.cluster = None
         self.batcher: MicroBatcher | None = None
         self.pool: WorkerPool | None = None
         if self.config.replicas > 1:
             from repro.cluster import ClusterPool
 
+            self.collector = TelemetryCollector(
+                metrics=self.metrics,
+                drift=self.drift,
+                spool_path=self.config.telemetry_spool,
+            )
             self.cluster = ClusterPool(
                 self.config,
                 input_shape=self.session.input_shape,
                 num_classes=self.session.num_classes,
                 metrics=self.metrics,
+                collector=self.collector,
             )
         else:
             self.batcher = MicroBatcher(
@@ -94,6 +111,7 @@ class InferenceServer:
                 self.batcher,
                 metrics=self.metrics,
                 num_workers=self.config.workers,
+                drift=self.drift,
             )
         self._httpd: ServingHTTPServer | None = None
         self._http_thread: threading.Thread | None = None
@@ -143,6 +161,8 @@ class InferenceServer:
             self.cluster.shutdown(timeout)
         else:
             self.pool.shutdown(timeout)
+        if self.collector is not None:
+            self.collector.close()
 
     @property
     def draining(self) -> bool:
@@ -177,17 +197,19 @@ class InferenceServer:
 
     # -- request dispatch ---------------------------------------------------
 
-    def submit(self, arr: np.ndarray, affinity: str | None = None):
+    def submit(self, arr: np.ndarray, affinity: str | None = None, ctx=None):
         """Route a request batch to the active backend; returns a Future.
 
         ``affinity`` (an opaque client session key) only matters in
         cluster mode, where it pins the request to its consistent-hash
         replica so per-session cache state stays warm; the thread pool
-        shares one engine set and ignores it.
+        shares one engine set and ignores it.  ``ctx`` is the request's
+        :class:`~repro.obs.trace.TraceContext` (or ``None``), threaded
+        through so backend spans parent under the HTTP request span.
         """
         if self.cluster is not None:
-            return self.cluster.submit(arr, affinity=affinity)
-        return self.batcher.submit(arr)
+            return self.cluster.submit(arr, affinity=affinity, ctx=ctx)
+        return self.batcher.submit(arr, ctx=ctx)
 
     def refresh_metrics(self) -> None:
         """Pull backend-side counters into the registry (scrape-time)."""

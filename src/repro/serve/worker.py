@@ -75,6 +75,10 @@ class WorkerPool:
         per-layer ``sensitive_ratio:<layer>`` gauges.
     num_workers:
         Worker thread count (each confines its own engine clone).
+    drift:
+        Optional :class:`~repro.obs.drift.DriftMonitor` fed the same
+        per-layer samples the gauges publish (the thread-pool analogue
+        of the cluster telemetry channel).
     """
 
     POLL_SECONDS = 0.05  #: batcher poll period, bounds shutdown latency
@@ -85,12 +89,14 @@ class WorkerPool:
         batcher: MicroBatcher,
         metrics: MetricsRegistry | None = None,
         num_workers: int = 2,
+        drift=None,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.session = session
         self.batcher = batcher
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.drift = drift
         self._stop = threading.Event()
         self._started = False
         engines = session.engines_for_workers(num_workers)
@@ -152,12 +158,21 @@ class WorkerPool:
                     break
                 continue
             t0 = time.perf_counter()
+            ctxs = batch.trace_contexts()
             try:
                 # Span nesting (same thread): serve.batch → engine.infer
-                # → engine.layer → odq.* phases.
-                with trace.span(
+                # → engine.layer → odq.* phases.  A coalesced batch can
+                # carry several request contexts: the span parents under
+                # the first and lists the rest by trace id.
+                with trace.get_tracer().activate(
+                    ctxs[0] if ctxs else None
+                ), trace.span(
                     "serve.batch", worker=stats.name, batch=batch.size
                 ) as sp:
+                    if len(ctxs) > 1:
+                        sp.set(
+                            extra_trace_ids=[c.trace_id for c in ctxs[1:]]
+                        )
                     outputs = engine.infer(batch.stack())
                     sp.add("requests", len(batch.requests))
             except BaseException as exc:  # noqa: BLE001 — forwarded to futures
@@ -188,13 +203,38 @@ class WorkerPool:
 
     def _publish_layer_densities(self, m: MetricsRegistry) -> None:
         """Aggregate sensitivity-mask density across worker engines."""
-        for name, density in self.layer_densities().items():
-            m.gauge(f"sensitive_ratio:{name}").set(density)
-        for name, census in self.exec_census().items():
-            m.gauge(f"exec_rows_total:{name}").set(census["rows_total"])
-            m.gauge(f"exec_rows_computed:{name}").set(census["rows_computed"])
+        densities = self.layer_densities()
+        exec_census = self.exec_census()
+        for name, density in densities.items():
+            m.gauge(
+                f"sensitive_ratio:{name}",
+                "per-layer sensitive-output ratio across worker engines",
+            ).set(density)
+        for name, census in exec_census.items():
+            m.gauge(
+                f"exec_rows_total:{name}",
+                "rows seen by the layer's result-generation dispatch",
+            ).set(census["rows_total"])
+            m.gauge(
+                f"exec_rows_computed:{name}",
+                "rows actually computed by the chosen exec path",
+            ).set(census["rows_computed"])
             for path, calls in census["path_calls"].items():
-                m.gauge(f"exec_path_calls_{path}:{name}").set(calls)
+                m.gauge(
+                    f"exec_path_calls_{path}:{name}",
+                    f"dispatches of the {path} result-generation path",
+                ).set(calls)
+        if self.drift is not None:
+            samples: dict[str, dict] = {
+                name: {"sensitive_ratio": d} for name, d in densities.items()
+            }
+            for name, census in exec_census.items():
+                samples.setdefault(name, {}).update(
+                    rows_total=census["rows_total"],
+                    rows_computed=census["rows_computed"],
+                    path_calls=census["path_calls"],
+                )
+            self.drift.observe(samples)
 
     # -- introspection ------------------------------------------------------
 

@@ -104,3 +104,81 @@ class TestOBS303CounterOutsideSpan:
             bag.add("not-a-span")
         """
         assert scan(src) == []
+
+
+class TestOBS304SpanWithoutTraceContext:
+    REQUEST_PATH = "src/repro/serve/worker.py"
+
+    def test_request_path_span_without_context_flagged(self):
+        src = """
+        from repro.obs import trace
+
+        def handle(batch):
+            with trace.span("serve.batch", batch=len(batch)):
+                infer(batch)
+        """
+        findings = scan(src, path=self.REQUEST_PATH)
+        assert rules_of(findings) == ["OBS304"]
+        assert "TraceContext" in findings[0].message
+
+    def test_activate_establishes_context(self):
+        src = """
+        from repro.obs import trace
+
+        def handle(batch, ctx):
+            with trace.get_tracer().activate(ctx):
+                with trace.span("serve.batch"):
+                    infer(batch)
+        """
+        assert scan(src, path=self.REQUEST_PATH) == []
+
+    def test_request_context_establishes_context(self):
+        src = """
+        from repro.obs import trace
+
+        def handle(arr):
+            with trace.request_context("serve.predict") as (sp, ctx):
+                with trace.span("serve.validate"):
+                    check(arr)
+        """
+        assert scan(src, path=self.REQUEST_PATH) == []
+
+    def test_same_code_outside_request_paths_is_clean(self):
+        src = """
+        from repro.obs import trace
+
+        def simulate(net):
+            with trace.span("accel.simulate"):
+                run(net)
+        """
+        assert scan(src, path="src/repro/accel/sim.py") == []
+
+    def test_session_build_spans_exempt(self):
+        src = """
+        from repro.obs import trace
+
+        def build(config):
+            with trace.span("session.build"):
+                construct(config)
+        """
+        assert scan(src, path="src/repro/serve/session.py") == []
+
+    def test_module_level_span_not_flagged(self):
+        # Only spans inside a function body are request handling.
+        src = """
+        from repro.obs import trace
+
+        with trace.span("import.time"):
+            warm()
+        """
+        assert scan(src, path=self.REQUEST_PATH) == []
+
+    def test_noqa_suppresses(self):
+        src = """
+        from repro.obs import trace
+
+        def background_flush():
+            with trace.span("maintenance"):  # repro: noqa[OBS304] — maintenance loop, not a request
+                flush()
+        """
+        assert scan(src, path=self.REQUEST_PATH) == []

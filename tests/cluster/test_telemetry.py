@@ -1,0 +1,319 @@
+"""Distributed tracing E2E: context propagation across real replica
+processes, telemetry merge, crash-log last words, and the HTTP-tier
+drift gauges."""
+
+from __future__ import annotations
+
+import io
+import json
+import signal
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterPool
+from repro.cluster.worker import ReplicaSpec, _apply_observability, replica_main
+from repro.cluster.shm import ShmArena, ShmStatsBlock
+from repro.obs import log as obs_log
+from repro.obs import trace
+from repro.obs.collector import TelemetryCollector, trace_trees
+from repro.obs.log import get_logger
+from repro.serve.config import ServeConfig
+from tests.cluster.conftest import (
+    ECHO_CLASSES,
+    ECHO_SHAPE,
+    echo_config,
+    expected_echo,
+)
+
+
+@pytest.fixture
+def traced():
+    """Enable the global tracer for the test, restore and clear after."""
+    was = trace.enabled()
+    trace.reset()
+    trace.enable()
+    yield
+    if not was:
+        trace.disable()
+    trace.reset()
+
+
+def wait_for(predicate, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return predicate()
+
+
+class TestTracePropagation:
+    def test_requests_form_single_cross_process_trees(self, traced):
+        collector = TelemetryCollector()
+        wall_start = time.time()
+        pool = ClusterPool(
+            echo_config(replicas=2),
+            input_shape=ECHO_SHAPE,
+            num_classes=ECHO_CLASSES,
+            collector=collector,
+        )
+        pool.start()
+        minted = []
+        try:
+            assert pool.wait_ready(timeout=60)
+            rng = np.random.default_rng(0)
+            pending = []
+            for _ in range(4):
+                arr = rng.normal(size=(6, *ECHO_SHAPE))  # 2 chunks at cap 4
+                with trace.request_context(
+                    "serve.predict", batch=6
+                ) as (_sp, ctx):
+                    minted.append(ctx.trace_id)
+                    pending.append((arr, pool.submit(arr, ctx=ctx)))
+            for arr, fut in pending:
+                assert np.array_equal(
+                    fut.result(timeout=60), expected_echo(arr)
+                )
+        finally:
+            pool.shutdown()
+        wall_end = time.time()
+
+        # Every request is one tree spanning processes — no orphans.
+        assert collector.orphans() == []
+        trees = trace_trees(collector.merged())
+        assert set(trees) == set(minted)
+        for tid in minted:
+            tree = trees[tid]
+            assert len(tree["roots"]) == 1
+            names = [s["name"] for s in tree["spans"]]
+            assert names.count("cluster.dispatch") == 2
+            assert names.count("replica.chunk") == 2
+            lanes = {s["proc"] for s in tree["spans"]}
+            assert any(lane.startswith("replica-") for lane in lanes)
+            assert trace.process_lane() in lanes
+
+        # Clock alignment: every merged record sits inside the test's
+        # wall-clock window (replica epochs re-based correctly).
+        merged = collector.merged()
+        assert merged
+        for rec in merged:
+            assert wall_start - 2.0 <= rec["ts_us"] / 1e6 <= wall_end + 2.0
+        # merged() is globally time-sorted, hence monotone per lane too.
+        ts = [r["ts_us"] for r in merged]
+        assert ts == sorted(ts)
+
+    def test_trace_ids_stable_across_crash_respawn(self, traced):
+        # Replicas crash (exit 23) every 2 batches; requeued chunks
+        # re-run under the *same* wire context, so every span the
+        # surviving generations ship still belongs to a minted trace
+        # and still parents cleanly.
+        # 8 single-chunk requests with a crash every 3 batches: the
+        # final generation handles 8 mod 3 = 2 and *survives*, so its
+        # drain ships spans (crashed generations take theirs with them).
+        collector = TelemetryCollector()
+        pool = ClusterPool(
+            echo_config(replicas=1, cluster_exit_after=3),
+            input_shape=ECHO_SHAPE,
+            num_classes=ECHO_CLASSES,
+            collector=collector,
+            backoff_base=0.05,
+            backoff_cap=0.2,
+        )
+        pool.start()
+        minted = set()
+        try:
+            rng = np.random.default_rng(1)
+            pending = []
+            for _ in range(8):
+                arr = rng.normal(size=(2, *ECHO_SHAPE))  # single chunk
+                with trace.request_context("serve.predict") as (_sp, ctx):
+                    minted.add(ctx.trace_id)
+                    pending.append((arr, pool.submit(arr, ctx=ctx)))
+            for arr, fut in pending:
+                assert np.array_equal(
+                    fut.result(timeout=120), expected_echo(arr)
+                )
+            assert pool.requeued > 0  # crashes actually happened
+        finally:
+            pool.shutdown()
+
+        chunk_spans = [
+            s for s in collector.merged(include_local=False)
+            if s["name"] == "replica.chunk"
+        ]
+        assert chunk_spans  # the last generation drained its telemetry
+        assert {s["attrs"]["trace_id"] for s in chunk_spans} <= minted
+        # Spans from crashed generations are lost (the process died with
+        # them) — but nothing that *was* shipped may dangle.
+        assert collector.orphans() == []
+
+
+class TestReplicaObservability:
+    def _specs(self, **spec_kw):
+        req = ShmArena(2, 64)
+        res = ShmArena(2, 64)
+        stats = ShmStatsBlock(1)
+        spec = ReplicaSpec(
+            replica_id=0,
+            config=spec_kw.pop("config", echo_config(replicas=1)),
+            req_arena_name=req.name,
+            res_arena_name=res.name,
+            stats_name=stats.name,
+            slots=2,
+            req_slot_floats=64,
+            res_slot_floats=64,
+            replicas=1,
+            **spec_kw,
+        )
+        return spec, (req, res, stats)
+
+    def test_apply_observability_reapplies_parent_snapshot(self):
+        spec, shm = self._specs(
+            log_level="debug", log_json=True, trace_enabled=True
+        )
+        try:
+            buffer = _apply_observability(spec)
+            assert obs_log.get_level() == obs_log.LEVELS["debug"]
+            assert obs_log.json_mode() is True
+            assert trace.process_lane() == "replica-0"
+            assert trace.enabled()
+            assert buffer is not None
+            get_logger("repro.test").info("buffered_event")
+            assert any(
+                r["event"] == "buffered_event" for r in buffer.drain()
+            )
+        finally:
+            obs_log.reset()
+            trace.disable()
+            trace.set_process_lane("main")
+            for seg in shm:
+                seg.unlink()
+
+    def test_apply_observability_without_tracing_installs_no_buffer(self):
+        spec, shm = self._specs(trace_enabled=False)
+        try:
+            assert _apply_observability(spec) is None
+            assert not trace.enabled()
+        finally:
+            obs_log.reset()
+            trace.set_process_lane("main")
+            for seg in shm:
+                seg.unlink()
+
+    def test_replica_crash_leaves_structured_last_words(self):
+        # In-process run of the spawn target with an injected startup
+        # failure: the supervisor only ever sees the exit code, so the
+        # replica must log the traceback itself before dying.
+        spec, shm = self._specs(
+            config=echo_config(replicas=1, cluster_raise_on_start=True)
+        )
+
+        class FakeConn:
+            def close(self):
+                pass
+
+        stream = io.StringIO()
+        prev_sigint = signal.getsignal(signal.SIGINT)
+        obs_log.configure(stream=stream)
+        try:
+            with pytest.raises(RuntimeError, match="injected replica start"):
+                replica_main(spec, FakeConn())
+            out = stream.getvalue()
+            assert "replica_crash" in out
+            assert "replica=0" in out
+            assert "Traceback" in out
+            assert "injected replica start failure" in out
+        finally:
+            signal.signal(signal.SIGINT, prev_sigint)
+            obs_log.reset()
+            trace.set_process_lane("main")
+            for seg in shm:
+                seg.unlink()
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+def _post(url: str, payload: dict):
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        return json.loads(resp.read())
+
+
+class TestServerTelemetryE2E:
+    def test_http_requests_trace_and_drift_gauges_flow(self, traced, tmp_path):
+        # Full engine-mode path: HTTP mints the context, the router
+        # carries it, replicas ship spans + sensitivity samples, the
+        # drift gauges surface on /metrics, and the spool receives the
+        # live stream.
+        from repro.serve.server import InferenceServer
+
+        spool = tmp_path / "spool.jsonl"
+        config = ServeConfig(
+            model="lenet",
+            scheme="odq",
+            dataset="mnist",
+            train_epochs=0,
+            calib_images=32,
+            max_batch_size=4,
+            replicas=2,
+            port=0,
+            telemetry_spool=str(spool),
+        )
+        server = InferenceServer(config)
+        server.start()
+        try:
+            assert server.cluster.wait_ready(timeout=180)
+            imgs = server.session.sample_inputs[:3].tolist()
+            for _ in range(3):
+                resp = _post(server.url + "/predict", {"inputs": imgs})
+                assert resp["batch"] == 3
+
+            # Calibration counters are reset at freeze, so the baseline
+            # self-anchors from replica samples — coverage must still
+            # reach every quantized layer the engine records.
+            layers = set(server.session.engine.records)
+            assert layers
+
+            def drift_ready():
+                gauges = _get(server.url + "/metrics")["gauges"]
+                return all(
+                    f"drift_sensitive_ratio:{layer}" in gauges
+                    for layer in layers
+                )
+
+            assert wait_for(drift_ready, timeout=60), (
+                "drift gauges never appeared for all layers"
+            )
+        finally:
+            server.shutdown()
+
+        collector = server.collector
+        assert collector is not None
+        assert collector.orphans() == []
+        trees = trace_trees(collector.merged())
+        assert trees
+        assert all(len(t["roots"]) == 1 for t in trees.values())
+        replica_lanes = {
+            s["proc"]
+            for t in trees.values()
+            for s in t["spans"]
+            if s["proc"].startswith("replica-")
+        }
+        assert replica_lanes  # request work actually ran on replicas
+
+        assert spool.stat().st_size > 0
+        kinds = {
+            json.loads(line)["kind"]
+            for line in spool.read_text().splitlines()
+        }
+        assert "span" in kinds

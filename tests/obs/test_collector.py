@@ -1,0 +1,257 @@
+"""TelemetryCollector unit tests: ingest, clock alignment, orphan
+detection, trace trees, spool, and the merged Chrome export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.collector import TelemetryCollector, orphan_spans, trace_trees
+from repro.serve.metrics import MetricsRegistry
+
+
+def span_row(name, span_id, parent_id=None, proc="main", start_us=0.0,
+             dur=5.0, attrs=None, **extra):
+    """A merged-timeline span record (the shape ``SpanRecord.as_dict``
+    produces, plus the collector's ``proc``/``ts_us`` tags)."""
+    row = {
+        "name": name,
+        "start_us": start_us,
+        "duration_us": dur,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "depth": 0,
+        "thread_id": 1,
+        "thread_name": "t",
+        "attrs": attrs or {},
+        "counters": {},
+        "proc": proc,
+        "ts_us": start_us,
+    }
+    row.update(extra)
+    return row
+
+
+class TestOrphanSpans:
+    def test_empty_is_clean(self):
+        assert orphan_spans([]) == []
+
+    def test_trace_root_is_not_an_orphan(self):
+        rows = [span_row("r", 1, attrs={"trace_id": "t", "trace_root": True})]
+        assert orphan_spans(rows) == []
+
+    def test_local_parent_resolves(self):
+        rows = [
+            span_row("r", 1, attrs={"trace_id": "t", "trace_root": True}),
+            span_row("c", 2, parent_id=1, attrs={"trace_id": "t"}),
+        ]
+        assert orphan_spans(rows) == []
+
+    def test_missing_local_parent_is_orphan(self):
+        rows = [span_row("c", 2, parent_id=99)]
+        assert [r["name"] for r in orphan_spans(rows)] == ["c"]
+
+    def test_parent_ref_resolves_across_lanes(self):
+        rows = [
+            span_row("dispatch", 7, proc="main",
+                     attrs={"trace_id": "t", "trace_root": True}),
+            span_row("chunk", 1, proc="replica-0",
+                     attrs={"trace_id": "t", "parent_ref": "main:7"}),
+        ]
+        assert orphan_spans(rows) == []
+
+    def test_unresolvable_parent_ref_is_orphan(self):
+        rows = [span_row("chunk", 1, proc="replica-0",
+                         attrs={"trace_id": "t", "parent_ref": "main:99"})]
+        assert len(orphan_spans(rows)) == 1
+
+    def test_malformed_parent_ref_is_orphan(self):
+        rows = [span_row("chunk", 1, proc="replica-0",
+                         attrs={"trace_id": "t", "parent_ref": "nonsense"})]
+        assert len(orphan_spans(rows)) == 1
+
+    def test_traced_span_with_no_parent_at_all_is_orphan(self):
+        rows = [span_row("lost", 3, attrs={"trace_id": "t"})]
+        assert len(orphan_spans(rows)) == 1
+
+    def test_untraced_background_root_is_fine(self):
+        # Spans outside any request trace (build, maintenance) are not
+        # orphans — they never claimed membership in a trace tree.
+        rows = [span_row("session_build", 4)]
+        assert orphan_spans(rows) == []
+
+
+class TestTraceTrees:
+    def test_groups_by_trace_id_and_finds_roots(self):
+        rows = [
+            span_row("r1", 1, attrs={"trace_id": "a", "trace_root": True}),
+            span_row("c1", 2, parent_id=1, attrs={"trace_id": "a"}),
+            span_row("r2", 3, attrs={"trace_id": "b", "trace_root": True}),
+            span_row("plain", 4),  # no trace id → in no tree
+        ]
+        trees = trace_trees(rows)
+        assert set(trees) == {"a", "b"}
+        assert len(trees["a"]["roots"]) == 1
+        assert len(trees["a"]["spans"]) == 2
+        assert len(trees["b"]["spans"]) == 1
+
+
+def payload(lane="replica-0", epoch_wall=100.0, spans=(), logs=(), samples=None):
+    return {
+        "lane": lane,
+        "pid": 4242,
+        "epoch_wall": epoch_wall,
+        "spans": list(spans),
+        "logs": list(logs),
+        "samples": samples or {},
+    }
+
+
+def raw_span(name="replica.chunk", span_id=1, start_us=50.0, attrs=None):
+    """A span dict as the replica ships it (no proc/ts_us tags yet)."""
+    row = span_row(name, span_id, start_us=start_us, attrs=attrs)
+    row.pop("proc")
+    row.pop("ts_us")
+    return row
+
+
+class TestIngest:
+    def test_clock_rebased_to_absolute_wall_us(self):
+        col = TelemetryCollector()
+        col.ingest("replica-0", payload(epoch_wall=100.0,
+                                        spans=[raw_span(start_us=50.0)]))
+        (rec,) = col.merged(include_local=False)
+        assert rec["ts_us"] == pytest.approx(100.0 * 1e6 + 50.0)
+        assert rec["proc"] == "replica-0"
+
+    def test_lane_from_payload_wins_over_argument(self):
+        col = TelemetryCollector()
+        col.ingest("whatever", payload(lane="replica-3", spans=[raw_span()]))
+        assert col.lanes(include_local=False) == ["replica-3"]
+
+    def test_merged_is_time_sorted_across_lanes(self):
+        col = TelemetryCollector()
+        col.ingest("replica-1", payload(lane="replica-1", epoch_wall=200.0,
+                                        spans=[raw_span(span_id=2)]))
+        col.ingest("replica-0", payload(lane="replica-0", epoch_wall=100.0,
+                                        spans=[raw_span(span_id=1)]))
+        merged = col.merged(include_local=False)
+        assert [r["proc"] for r in merged] == ["replica-0", "replica-1"]
+
+    def test_batch_and_span_counters_per_lane(self):
+        metrics = MetricsRegistry()
+        col = TelemetryCollector(metrics=metrics)
+        col.ingest("replica-0", payload(spans=[raw_span(), raw_span(span_id=2)]))
+        counters = metrics.as_dict()["counters"]
+        assert counters["telemetry_batches_total@lane=replica-0"] == 1
+        assert counters["telemetry_spans_total@lane=replica-0"] == 2
+
+    def test_samples_feed_the_drift_monitor(self):
+        seen = []
+
+        class FakeDrift:
+            def observe(self, samples):
+                seen.append(samples)
+
+        col = TelemetryCollector(drift=FakeDrift())
+        col.ingest("replica-0", payload(
+            samples={"C1": {"sensitive_ratio": 0.4}}
+        ))
+        assert seen == [{"C1": {"sensitive_ratio": 0.4}}]
+
+    def test_log_records_kept_with_lane(self):
+        col = TelemetryCollector()
+        col.ingest("replica-0", payload(
+            logs=[{"level": "info", "event": "replica_up"}]
+        ))
+        (log,) = col.log_records()
+        assert log["proc"] == "replica-0"
+        assert log["event"] == "replica_up"
+
+
+class TestSpool:
+    def test_every_ingested_record_becomes_a_jsonl_line(self, tmp_path):
+        spool = tmp_path / "spool.jsonl"
+        col = TelemetryCollector(spool_path=spool)
+        col.ingest("replica-0", payload(
+            spans=[raw_span()],
+            logs=[{"level": "info", "event": "replica_up"}],
+        ))
+        col.close()
+        lines = [json.loads(l) for l in spool.read_text().splitlines()]
+        assert [l["kind"] for l in lines] == ["span", "log"]
+        assert lines[0]["proc"] == "replica-0"
+        assert lines[0]["ts_us"] > 0
+
+    def test_no_spool_path_writes_nothing(self, tmp_path):
+        col = TelemetryCollector()
+        col.ingest("replica-0", payload(spans=[raw_span()]))
+        col.close()  # must not raise
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestLocalMerge:
+    def test_local_tracer_spans_join_the_timeline(self):
+        col = TelemetryCollector()
+        with trace.get_tracer().collect():
+            with trace.span("local.work"):
+                pass
+            col.ingest("replica-0", payload(spans=[raw_span()]))
+            merged = col.merged(include_local=True)
+        names = {r["name"] for r in merged}
+        assert {"local.work", "replica.chunk"} <= names
+        local = next(r for r in merged if r["name"] == "local.work")
+        assert local["proc"] == trace.process_lane()
+
+    def test_local_snapshot_is_non_destructive(self):
+        col = TelemetryCollector()
+        with trace.get_tracer().collect():
+            with trace.span("keep.me"):
+                pass
+            col.merged(include_local=True)
+            # The CLI trace epilogue must still see the span afterwards.
+            assert [s.name for s in trace.spans()] == ["keep.me"]
+
+
+class TestChromeExport:
+    def _collector(self):
+        # Exports always include the local tracer's spans; drop any left
+        # over from other tests so the timeline is exactly the two
+        # ingested replica spans.
+        trace.reset()
+        col = TelemetryCollector()
+        col.ingest("replica-0", payload(lane="replica-0", epoch_wall=100.0,
+                                        spans=[raw_span(span_id=1)]))
+        col.ingest("replica-1", payload(lane="replica-1", epoch_wall=100.0,
+                                        spans=[raw_span(span_id=2,
+                                                        start_us=75.0)]))
+        return col
+
+    def test_one_pid_per_lane_with_names(self):
+        doc = self._collector().chrome_trace()
+        procs = {
+            ev["args"]["name"]: ev["pid"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+        }
+        assert "replica-0" in procs and "replica-1" in procs
+        assert procs["replica-0"] != procs["replica-1"]
+
+    def test_timestamps_normalized_to_zero(self):
+        doc = self._collector().chrome_trace()
+        xs = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        assert min(ev["ts"] for ev in xs) == 0.0
+        assert max(ev["ts"] for ev in xs) == pytest.approx(25.0)
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = self._collector().write_chrome_trace(tmp_path / "t.json")
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_write_jsonl_has_kind_tags(self, tmp_path):
+        path = self._collector().write_jsonl(tmp_path / "t.jsonl")
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert all(l["kind"] == "span" for l in lines)
+        assert len(lines) == 2

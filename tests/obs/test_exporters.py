@@ -130,3 +130,98 @@ class TestAsciiRollup:
 
     def test_empty_rollup(self):
         assert "no spans" in exporters.ascii_rollup([])
+
+
+class TestPrometheusHelp:
+    SNAPSHOT = {
+        "counters": {"requests_total": 42},
+        "gauges": {"sensitive_ratio:C1": 0.25, "sensitive_ratio:C2": 0.5},
+        "histograms": {},
+    }
+    HELP = {
+        "requests_total": "Requests accepted by the server",
+        "sensitive_ratio": "Live per-layer sensitive-output density",
+    }
+
+    def test_help_line_immediately_precedes_type(self):
+        lines = exporters.prometheus_text(
+            self.SNAPSHOT, help_texts=self.HELP
+        ).strip().split("\n")
+        i = lines.index(
+            "# HELP repro_requests_total Requests accepted by the server"
+        )
+        assert lines[i + 1] == "# TYPE repro_requests_total counter"
+
+    def test_no_help_means_no_help_line(self):
+        text = exporters.prometheus_text(self.SNAPSHOT)
+        assert "# HELP" not in text
+        assert "# TYPE repro_requests_total counter" in text
+
+    def test_labeled_family_helped_once(self):
+        # Two series of one family: exactly one HELP + one TYPE.
+        text = exporters.prometheus_text(self.SNAPSHOT, help_texts=self.HELP)
+        assert text.count("# HELP repro_sensitive_ratio") == 1
+        assert text.count("# TYPE repro_sensitive_ratio") == 1
+
+    def test_raw_registry_name_key_also_resolves(self):
+        # Help keyed by the labeled registry name, not the base family.
+        text = exporters.prometheus_text(
+            self.SNAPSHOT, help_texts={"sensitive_ratio:C1": "per layer"}
+        )
+        assert "# HELP repro_sensitive_ratio per layer" in text
+
+    def test_help_escaping(self):
+        text = exporters.prometheus_text(
+            {"counters": {"x_total": 1}, "gauges": {}, "histograms": {}},
+            help_texts={"x_total": "line one\nand \\ two"},
+        )
+        assert "# HELP repro_x_total line one\\nand \\\\ two" in text
+
+    def test_registry_help_flows_through_automatically(self):
+        from repro.serve.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("requests_total", "Requests accepted").inc(3)
+        reg.gauge("queue_depth", "Requests waiting").set(1.0)
+        text = exporters.prometheus_text(reg)
+        assert "# HELP repro_requests_total Requests accepted" in text
+        assert "# HELP repro_queue_depth Requests waiting" in text
+
+    def test_exposition_grammar_promtool_style(self):
+        # Every line must be a comment or a `name[{labels}] value` sample,
+        # each family TYPEd exactly once, every HELP directly above the
+        # TYPE of the same family — the checks `promtool check metrics`
+        # would make, without the binary.
+        import re
+
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+            r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+            r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+            r" -?[0-9.eE+-]+$"
+        )
+        comment = re.compile(
+            r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$"
+        )
+        snapshot = dict(self.SNAPSHOT)
+        snapshot["histograms"] = {
+            "e2e_ms": {"count": 3, "sum": 6.0, "p50": 2.0, "p95": 2.9,
+                       "p99": 2.99},
+        }
+        lines = exporters.prometheus_text(
+            snapshot, help_texts=self.HELP
+        ).strip().split("\n")
+        typed = []
+        for i, line in enumerate(lines):
+            if line.startswith("# TYPE"):
+                name = line.split()[2]
+                assert name not in typed, f"family {name} TYPEd twice"
+                typed.append(name)
+            elif line.startswith("# HELP"):
+                name = line.split()[2]
+                assert lines[i + 1].startswith(f"# TYPE {name} "), (
+                    "HELP not directly above its TYPE"
+                )
+            else:
+                assert sample.match(line), f"bad sample line: {line!r}"
+            assert comment.match(line) or sample.match(line)

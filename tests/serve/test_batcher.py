@@ -138,3 +138,34 @@ class TestShutdown:
         b.shutdown()
         b.shutdown()
         assert b.closed
+
+
+class TestTraceContexts:
+    def test_contexts_ride_along_in_submit_order(self):
+        from repro.obs.trace import TraceContext
+
+        b = MicroBatcher(max_batch_size=8, max_wait_ms=1)
+        c1 = TraceContext("a" * 16, 1, "main")
+        c2 = TraceContext("b" * 16, 2, "main")
+        b.submit(_img(), ctx=c1)
+        b.submit(_img())          # untraced request in the middle
+        b.submit(_img(), ctx=c2)
+        batch = b.next_batch(timeout=1)
+        assert batch.size == 3
+        # Distinct contexts in submit order; None never listed.
+        assert batch.trace_contexts() == [c1, c2]
+
+    def test_duplicate_context_listed_once(self):
+        from repro.obs.trace import TraceContext
+
+        b = MicroBatcher(max_batch_size=8, max_wait_ms=1)
+        ctx = TraceContext("c" * 16, 3, "main")
+        b.submit(_img(), ctx=ctx)
+        b.submit(_img(), ctx=ctx)
+        batch = b.next_batch(timeout=1)
+        assert batch.trace_contexts() == [ctx]
+
+    def test_no_contexts_gives_empty_list(self):
+        b = MicroBatcher(max_batch_size=2, max_wait_ms=1)
+        b.submit(_img())
+        assert b.next_batch(timeout=1).trace_contexts() == []

@@ -103,3 +103,67 @@ def test_console_script_declared():
     ).read_text()
     assert '[project.scripts]' in pyproject
     assert 'repro = "repro.__main__:main"' in pyproject
+
+
+class TestTraceTail:
+    SPAN = ('{"kind":"span","proc":"replica-0","name":"replica.chunk",'
+            '"duration_us":1500.0,"attrs":{"trace_id":"abcd1234abcd1234"}}')
+    LOG = ('{"kind":"log","proc":"replica-1","level":"warning",'
+           '"logger":"repro.cluster.worker","event":"replica_injected_crash"}')
+
+    def _spool(self, tmp_path):
+        spool = tmp_path / "spool.jsonl"
+        spool.write_text(self.SPAN + "\n" + self.LOG + "\n")
+        return spool
+
+    def test_missing_spool_errors(self, tmp_path, capsys):
+        assert main(["trace-tail", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no spool" in capsys.readouterr().err
+
+    def test_formats_span_and_log_lines(self, tmp_path, capsys):
+        assert main(["trace-tail", str(self._spool(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "replica-0" in out and "replica.chunk" in out
+        assert "1.500 ms" in out
+        assert "trace=abcd1234abcd1234" in out
+        assert "WARNING" in out and "replica_injected_crash" in out
+
+    def test_raw_passthrough(self, tmp_path, capsys):
+        assert main(
+            ["trace-tail", str(self._spool(tmp_path)), "--raw"]
+        ) == 0
+        assert self.SPAN in capsys.readouterr().out
+
+    def test_unparsable_line_passes_through(self):
+        from repro.__main__ import _format_tail_line
+
+        assert _format_tail_line("not json at all") == "not json at all"
+
+    def test_follow_from_start_honors_duration(self, tmp_path, capsys):
+        rc = main([
+            "trace-tail", str(self._spool(tmp_path)),
+            "--follow", "--from-start", "--poll", "0.05", "--duration", "0.2",
+        ])
+        assert rc == 0
+        assert "replica.chunk" in capsys.readouterr().out
+
+
+class TestGlobalFlagPosition:
+    # The subcommand parser shares the observability parent and copies
+    # its namespace over the root's — plain defaults would clobber
+    # flags given before the subcommand (`repro --trace serve`).
+    def test_flags_before_subcommand_survive(self):
+        args = build_parser().parse_args(
+            ["--trace", "--trace-out", "t.json", "serve"]
+        )
+        assert getattr(args, "trace", False) is True
+        assert getattr(args, "trace_out", None) == "t.json"
+
+    def test_flags_after_subcommand_survive(self):
+        args = build_parser().parse_args(["serve", "--trace"])
+        assert getattr(args, "trace", False) is True
+
+    def test_unset_flags_are_absent_not_false_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert getattr(args, "trace", False) is False
+        assert getattr(args, "trace_out", None) is None
