@@ -108,6 +108,7 @@ def _cmd_profile(args) -> int:
         train_epochs=args.train_epochs,
         exec_path=args.exec_path,
         gemm_threads=args.gemm_threads,
+        use_plan=not args.no_plan,
     )
     console(result.render())
     if args.flame:
@@ -116,6 +117,53 @@ def _cmd_profile(args) -> int:
     # Stash the spans so the shared --trace-out epilogue exports exactly
     # this run (the profiler resets the global tracer around its run).
     args._profile_spans = result.spans
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    """Build a session, compile its serving plan, and print the steps."""
+    from repro.serve.config import ServeConfig
+    from repro.serve.session import ModelSession
+    from repro.utils.report import ascii_table
+
+    config = ServeConfig(
+        model=args.model,
+        scheme=args.scheme,
+        threshold=args.threshold,
+        dataset=args.dataset,
+        train_epochs=args.train_epochs,
+        calib_images=args.calib_images,
+        exec_path=args.exec_path,
+        max_batch_size=args.batch_size,
+    )
+    session = ModelSession(config)
+    stats = session.engine.plan_stats()
+    console(
+        f"repro plan — model={session.key.model} scheme={session.key.scheme} "
+        f"threshold={session.key.threshold} exec_path={session.key.exec_path} "
+        f"batch={config.max_batch_size}"
+    )
+    for plan in session.engine._plans.values():
+        d = plan.describe()
+        shape = "x".join(str(v) for v in d["input_shape"])
+        console(
+            f"\nplan input={shape} dtype={d['input_dtype']} mode={d['mode']} "
+            f"steps={d['steps']} fast_convs={d['fast_conv_steps']}/"
+            f"{d['conv_steps']} sparse_batched={d['sparse_batched_layers']}"
+        )
+        rows = []
+        for i, step in enumerate(d["step_list"]):
+            detail = ", ".join(
+                f"{k}={v}" for k, v in step.items()
+                if k != "kind" and v is not None
+            )
+            rows.append([i, step["kind"], detail])
+        console(ascii_table(["#", "step", "detail"], rows))
+    console(
+        f"\ncache: {stats['cached']}/{stats['limit']} plans "
+        f"(compiles={stats['compiles']} hits={stats['hits']} "
+        f"invalidated={stats['invalidated']} evictions={stats['evictions']})"
+    )
     return 0
 
 
@@ -142,6 +190,7 @@ def _serve_config_from_args(args) -> "ServeConfig":  # noqa: F821 — lazy impor
         train_epochs=args.train_epochs,
         calib_images=args.calib_images,
         exec_path=args.exec_path,
+        use_plan=not args.no_plan,
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         workers=args.workers,
@@ -197,6 +246,10 @@ def _add_serve_options(parser: argparse.ArgumentParser) -> None:
                         help="process-wide GEMM pool width (default: "
                              "REPRO_GEMM_THREADS or min(cpu, 8); 1 disables "
                              "intra-op parallelism; shared by all workers)")
+    parser.add_argument("--no-plan", action="store_true",
+                        help="disable compiled inference plans "
+                             "(repro.core.plan); run the legacy per-call "
+                             "path — speed knob only, results identical")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8321,
                         help="bind port (0 = OS-assigned)")
@@ -388,8 +441,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--gemm-threads", type=int, default=None,
                         help="process-wide GEMM pool width for the profiled "
                              "run (1 disables intra-op parallelism)")
+    p_prof.add_argument("--no-plan", action="store_true",
+                        help="profile the legacy per-call path instead of "
+                             "the compiled inference plan")
     p_prof.add_argument("--flame", action="store_true",
                         help="also print the aggregated ASCII call tree")
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="compile and print the shape-specialized inference plan",
+        parents=[global_opts],
+    )
+    p_plan.add_argument("model", help="model registry name (e.g. lenet, resnet20)")
+    p_plan.add_argument("scheme", help="quantization scheme (e.g. odq, int8)")
+    p_plan.add_argument("--threshold", type=float, default=None,
+                        help="sensitivity threshold for odq/drq schemes")
+    p_plan.add_argument("--dataset", default="mnist",
+                        help="synthetic dataset (mnist|cifar10|cifar100)")
+    p_plan.add_argument("--calib-images", type=int, default=32,
+                        help="calibration images for the session build")
+    p_plan.add_argument("--train-epochs", type=int, default=0,
+                        help="warm-up training epochs before planning")
+    p_plan.add_argument("--exec-path", choices=["auto", "dense", "sparse"],
+                        default="auto",
+                        help="ODQ result-generation path frozen into the plan")
+    p_plan.add_argument("--batch-size", type=int, default=8,
+                        help="batch shape the plan specializes on")
 
     p_serve = sub.add_parser("serve", help="start the batched inference HTTP server",
                              parents=[global_opts])
@@ -446,6 +523,7 @@ HANDLERS = {
     "table2": _cmd_table2,
     "simulate": _cmd_simulate,
     "profile": _cmd_profile,
+    "plan": _cmd_plan,
     "quickstart": _cmd_quickstart,
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,

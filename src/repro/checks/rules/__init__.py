@@ -6,12 +6,13 @@ Four domain families, one id range each:
 * ``THR2xx`` — thread-safety (:mod:`repro.checks.rules.threadsafety`)
 * ``OBS3xx`` — obs-discipline (:mod:`repro.checks.rules.obs`)
 * ``NUM4xx`` — numeric-safety (:mod:`repro.checks.rules.numeric`)
+* ``PLN5xx`` — plan/cache discipline (:mod:`repro.checks.rules.plan`)
 
 Plus the engine-level meta rule ``SUP001`` (suppression without a
 justification), which lives in :mod:`repro.checks.engine` because it is
 emitted during comment parsing, before any rule runs.
 """
 
-from repro.checks.rules import dtype, numeric, obs, threadsafety
+from repro.checks.rules import dtype, numeric, obs, plan, threadsafety
 
-__all__ = ["dtype", "threadsafety", "obs", "numeric"]
+__all__ = ["dtype", "threadsafety", "obs", "numeric", "plan"]

@@ -1,0 +1,170 @@
+"""Plan-discipline rules (``PLN``).
+
+Invariant (``src/repro/core/plan.py`` + ``colcache.py``): im2col column
+caches are expensive per-call state.  The compiled-plan path and the
+executors obtain them through a provider — the engine's shared
+``cache_provider`` (sweep reuse) or the executor's ``_fresh_cache``
+factory — so cache policy lives in exactly one place.  A bare
+``ColumnCache(...)`` construction anywhere else silently opts that call
+site out of sweep-cache reuse *and* out of the plan's pre-bound im2col
+geometry, which reads as a perf regression nobody can find.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.astutil import enclosing_function, terminal_name
+from repro.checks.engine import FileContext
+from repro.checks.findings import Finding, Severity
+from repro.checks.registry import rule
+
+#: Function names allowed to construct caches directly: the executor's
+#: own factory hook (``ODQConvExecutor._fresh_cache`` and siblings).
+_PROVIDER_FUNCS = frozenset({"_fresh_cache"})
+
+
+@rule(
+    id="PLN501",
+    family="plan",
+    severity=Severity.ERROR,
+    summary="per-call ColumnCache(...) outside a plan/cache provider",
+    invariant=(
+        "ColumnCache objects are built only by the colcache module "
+        "itself or inside a provider hook (_fresh_cache); ad-hoc "
+        "construction bypasses SweepColumnCache reuse and the compiled "
+        "plan's frozen im2col geometry."
+    ),
+    exempt_paths=("repro/core/colcache.py",),  # the implementation
+)
+def check_adhoc_column_cache(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and terminal_name(node.func) in ("ColumnCache", "SweepColumnCache")
+        ):
+            continue
+        if terminal_name(node.func) == "SweepColumnCache":
+            # The sweep cache *is* a provider; constructing one is fine.
+            continue
+        func = enclosing_function(node, ctx.parents)
+        if func is not None and func.name in _PROVIDER_FUNCS:
+            continue
+        yield ctx.finding(
+            "PLN501", node,
+            "ColumnCache(...) constructed outside a cache provider — go "
+            "through executor._build_cache() (honors the engine's "
+            "cache_provider) or a _fresh_cache factory so sweep reuse "
+            "and plan geometry stay in effect",
+        )
+
+
+#: Engine attributes that make up the compiled-plan state machine.
+_PLAN_STATE_ATTRS = frozenset({"_plans", "_active_plan"})
+
+#: Methods that mutate an OrderedDict (reads like .get/.values are fine).
+_MUTATING_METHODS = frozenset({
+    "clear", "pop", "popitem", "move_to_end", "update", "setdefault",
+})
+
+#: Modules that own the plan cache's lifecycle.
+_PLAN_OWNERS = ("repro/core/pipeline.py", "repro/core/plan.py")
+
+
+@rule(
+    id="PLN502",
+    family="plan",
+    severity=Severity.ERROR,
+    summary="engine plan state (_plans/_active_plan) mutated externally",
+    invariant=(
+        "The plan cache's LRU order, staleness bookkeeping, and "
+        "_plan_stats counters are maintained by "
+        "QuantizedInferenceEngine._infer_locked and InferencePlan.run "
+        "alone; outside writes desynchronize the counters and can leave "
+        "_active_plan dangling across inferences.  Reading the state "
+        "(describe()/metrics) is fine."
+    ),
+    exempt_paths=_PLAN_OWNERS,
+)
+def check_external_plan_state_mutation(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for t in targets:
+                if isinstance(t, ast.Attribute) and t.attr in _PLAN_STATE_ATTRS:
+                    yield ctx.finding(
+                        "PLN502", node,
+                        f"assignment to `{t.attr}` outside the engine — "
+                        "plan state is owned by pipeline.py/plan.py; use "
+                        "engine.infer()/plan_stats() instead",
+                    )
+        elif isinstance(node, ast.Delete):
+            for t in node.targets:
+                base = t.value if isinstance(t, ast.Subscript) else t
+                if isinstance(base, ast.Attribute) and base.attr in _PLAN_STATE_ATTRS:
+                    yield ctx.finding(
+                        "PLN502", node,
+                        f"del on `{base.attr}` outside the engine — plan "
+                        "eviction/invalidation is the engine's job",
+                    )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+            and isinstance(node.func.value, ast.Attribute)
+            and node.func.value.attr in _PLAN_STATE_ATTRS
+        ):
+            yield ctx.finding(
+                "PLN502", node,
+                f"`{node.func.value.attr}.{node.func.attr}(...)` outside "
+                "the engine mutates the plan cache behind the LRU/stats "
+                "bookkeeping",
+            )
+
+
+@rule(
+    id="PLN503",
+    family="plan",
+    severity=Severity.ERROR,
+    summary="instance-level forward shadowing outside the plan tracer",
+    invariant=(
+        "plan._trace_leaves instruments leaves by installing an instance "
+        "`forward` (shadowing the class method) and refuses to touch "
+        "modules that already carry one; any other code installing "
+        "instance forwards silently opts those modules out of plan "
+        "compilation and risks leaking the shadow past its scope."
+    ),
+    exempt_paths=("repro/core/plan.py",),  # the tracer itself
+)
+def check_instance_forward_shadowing(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        for t in node.targets:
+            shadowed = (
+                isinstance(t, ast.Attribute) and t.attr == "forward"
+            ) or (
+                isinstance(t, ast.Subscript)
+                and isinstance(t.value, ast.Attribute)
+                and t.value.attr == "__dict__"
+                and isinstance(t.slice, ast.Constant)
+                and t.slice.value == "forward"
+            )
+            if shadowed:
+                yield ctx.finding(
+                    "PLN503", node,
+                    "installing an instance-level `forward` — only the "
+                    "plan tracer may shadow module forwards (and it "
+                    "restores them); shadowed modules are skipped by "
+                    "plan compilation",
+                )
+
+
+__all__ = [
+    "check_adhoc_column_cache",
+    "check_external_plan_state_mutation",
+    "check_instance_forward_shadowing",
+]

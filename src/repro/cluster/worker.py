@@ -259,11 +259,18 @@ def _serve(
     stats.set(spec.replica_id, "alive", 1.0)
     stats.set(spec.replica_id, "heartbeat", time.time())
     conn.send(("ready", spec.replica_id, os.getpid()))
+    # Each replica compiles its own inference plans (ModelSession warms
+    # the steady-state shape at build); planned execution is bit-identical
+    # to the unplanned path, so N replicas match --replicas 1 exactly.
+    plan_modes = sorted(
+        {p.mode for p in engine._plans.values()}
+    ) if engine is not None and engine.use_plan else []
     _log.info(
         "replica_up",
         replica=spec.replica_id,
         pid=os.getpid(),
         mode="echo" if engine is None else "engine",
+        plan=",".join(plan_modes) if plan_modes else "off",
     )
 
     tracer = trace.get_tracer()

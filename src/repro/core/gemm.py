@@ -25,6 +25,25 @@ float32/float64 operands, so the blocks genuinely run in parallel.
 * **No small-GEMM regression.**  GEMMs below the auto-tuned FLOP
   crossover (dispatch overhead vs measured GEMM throughput) take the
   direct ``a @ b`` path, so LeNet-scale layers never pay pool latency.
+* **Column blocking for fc-style shapes.**  Wide-``n``/short-``m``
+  GEMMs (a small batch hitting a fat fully-connected weight) cannot be
+  row-blocked — there are fewer rows than threads — so they are split
+  along ``b``'s *columns* instead.  Column blocking is just as
+  re-association-free as row blocking (output column ``j`` is the same
+  ``a @ b[:, j]`` whichever block computes it) and carries its own
+  empirically *verified* per-block floor
+  (:attr:`GemmTuning.min_block_mnk_cols`), established exactly like the
+  row floor: doubling until column-slice GEMMs reproduce the monolithic
+  result bit-for-bit.
+
+For compiled inference plans (:mod:`repro.core.plan`) two further
+entry points avoid per-call re-decision: :func:`plan_gemm` freezes the
+direct/rows/cols choice *and* the block bounds for a shape-known GEMM
+into a reusable :class:`GemmDispatch`, and :class:`DispatchGroup`
+snapshots the pool width / tuning / pool handle once so a run of
+back-to-back GEMMs (consecutive sparse-path layers) pays one dispatch
+setup instead of N.  Both produce bit-identical results to
+:func:`pgemm` — they reuse the same block maths and verified floors.
 * **Lazy + fork-safe.**  The pool starts on first parallel-eligible
   call; after ``fork`` the worker threads of the parent are gone, so the
   pool detects the PID change and rebuilds itself.
@@ -72,6 +91,13 @@ MIN_BLOCK_MNK_FLOOR = 4 * (1 << 20)
 #: established below this, the pool refuses to parallelize.
 MIN_BLOCK_MNK_CEIL = 64 * (1 << 20)
 
+#: Starting per-block floor for *column* blocking.  Column slices keep
+#: ``m`` and the accumulation length ``k`` unchanged, so the BLAS stays
+#: in the same kernel regime as the monolithic call at much smaller
+#: block sizes than row slices do; the floor is still verified (and
+#: doubled if needed) before the column path is ever used.
+MIN_BLOCK_MNK_COLS_FLOOR = 1 << 18
+
 #: The parallel path must amortize pool dispatch: require the estimated
 #: serial GEMM time to exceed this multiple of the measured round-trip
 #: dispatch overhead.
@@ -96,6 +122,9 @@ class GemmTuning:
     min_flops: float      #: parallel crossover in FLOPs (2*m*n*k)
     min_block_mnk: int    #: per-block m*n*k floor (BLAS kernel-regime guard)
     verified: bool = True  #: block floor empirically confirmed bit-exact
+    #: per-block m*n*k floor for column blocking (own verification)
+    min_block_mnk_cols: int = MIN_BLOCK_MNK_COLS_FLOOR
+    verified_cols: bool = True  #: column floor empirically confirmed bit-exact
 
 
 @dataclass
@@ -108,6 +137,9 @@ class GemmStats:
     pooled_blocks: int = 0  #: row blocks dispatched in total
     pooled_rows: int = 0    #: output rows computed via the pool
     pooled_flops: int = 0   #: FLOPs routed through the pool
+    col_calls: int = 0      #: served by the column-blocked pool path
+    col_blocks: int = 0     #: column blocks dispatched in total
+    planned_calls: int = 0  #: served through a frozen GemmDispatch
 
     def as_dict(self) -> dict:
         return {
@@ -117,6 +149,9 @@ class GemmStats:
             "pooled_blocks": self.pooled_blocks,
             "pooled_rows": self.pooled_rows,
             "pooled_flops": self.pooled_flops,
+            "col_calls": self.col_calls,
+            "col_blocks": self.col_blocks,
+            "planned_calls": self.planned_calls,
         }
 
 
@@ -159,6 +194,7 @@ def configure(
     threads: int | None = None,
     min_flops: float | None = None,
     min_block_mnk: int | None = None,
+    min_block_mnk_cols: int | None = None,
 ) -> None:
     """Override pool width and/or dispatch tuning for this process.
 
@@ -173,7 +209,11 @@ def configure(
             if threads < 1:
                 raise ValueError("gemm threads must be >= 1")
             _configured_threads = int(threads)
-        if min_flops is not None or min_block_mnk is not None:
+        if (
+            min_flops is not None
+            or min_block_mnk is not None
+            or min_block_mnk_cols is not None
+        ):
             base = _tuning or GemmTuning(MIN_FLOPS_FLOOR, MIN_BLOCK_MNK_FLOOR)
             _tuning = GemmTuning(
                 min_flops=float(min_flops) if min_flops is not None else base.min_flops,
@@ -182,6 +222,11 @@ def configure(
                     else base.min_block_mnk
                 ),
                 verified=base.verified,
+                min_block_mnk_cols=(
+                    int(min_block_mnk_cols) if min_block_mnk_cols is not None
+                    else base.min_block_mnk_cols
+                ),
+                verified_cols=base.verified_cols,
             )
 
 
@@ -280,10 +325,39 @@ def _block_floor_is_exact(min_block_mnk: int) -> bool:
     return True
 
 
+def _col_floor_is_exact(min_block_mnk_cols: int) -> bool:
+    """Empirically confirm column-slice GEMMs match the full GEMM.
+
+    Mirrors :func:`_block_floor_is_exact` for the column-blocked path:
+    probes the fc-style shapes that path serves (short ``m``, long
+    accumulation ``k``, wide ``n``), in both float64 and float32, with
+    both plain and transposed-``b`` layouts (``F.linear`` hands pgemm
+    the transposed weight view).  A column slice ``a @ b[:, j0:j1]``
+    must equal the matching slice of the monolithic product
+    bit-for-bit at the candidate floor.
+    """
+    rng = np.random.default_rng(0xC0FFEE)
+    shapes = ((8, 1152), (16, 576), (1, 800))
+    for dtype in (np.float64, np.float32):
+        for m, k in shapes:
+            bw = max(1, -(-min_block_mnk_cols // (m * k)))  # cols per block
+            n = 3 * bw + 7
+            a = rng.standard_normal((m, k)).astype(dtype)
+            b = rng.standard_normal((k, n)).astype(dtype)
+            for bv in (b, np.ascontiguousarray(b.T).T):      # plain, transposed B
+                full = a @ bv
+                for start in (0, bw, 2 * bw):
+                    stop = min(n, start + bw)
+                    if not np.array_equal(a @ bv[:, start:stop], full[:, start:stop]):
+                        return False
+    return True
+
+
 def _autotune(pool: ThreadPoolExecutor, threads: int) -> GemmTuning:
     """Measure the crossover + verify the block floor, once per process."""
     env_flops = os.environ.get("REPRO_GEMM_MIN_FLOPS", "").strip()
     env_block = os.environ.get("REPRO_GEMM_MIN_BLOCK_MNK", "").strip()
+    env_cols = os.environ.get("REPRO_GEMM_MIN_BLOCK_MNK_COLS", "").strip()
 
     if env_flops:
         min_flops = max(float(env_flops), 0.0)
@@ -306,8 +380,27 @@ def _autotune(pool: ThreadPoolExecutor, threads: int) -> GemmTuning:
                 verified = False
                 min_flops = float("inf")
                 break
+
+    verified_cols = True
+    if env_cols:
+        min_block_cols = max(int(env_cols), 1)
+    else:
+        min_block_cols = MIN_BLOCK_MNK_COLS_FLOOR
+        while not _col_floor_is_exact(min_block_cols):
+            min_block_cols *= 2
+            if min_block_cols > MIN_BLOCK_MNK_CEIL:
+                # Same refusal policy as the row floor: no bit-exact
+                # column blocking on this BLAS ⇒ pgemm never takes that
+                # path.  The floor resets so :func:`plan_gemm` can still
+                # form candidate bounds and verify them *per shape* with
+                # the actual operand layout (see ``b_sample``).
+                verified_cols = False
+                min_block_cols = MIN_BLOCK_MNK_COLS_FLOOR
+                break
     return GemmTuning(min_flops=min_flops, min_block_mnk=min_block,
-                      verified=verified)
+                      verified=verified,
+                      min_block_mnk_cols=min_block_cols,
+                      verified_cols=verified_cols)
 
 
 def tuning() -> GemmTuning:
@@ -361,6 +454,131 @@ def _mm_block(a_blk: np.ndarray, b: np.ndarray, out_blk: np.ndarray) -> None:
     np.matmul(a_blk, b, out=out_blk)
 
 
+def _mm_col_block(a: np.ndarray, b_blk: np.ndarray, out_blk: np.ndarray) -> None:
+    np.matmul(a, b_blk, out=out_blk)
+
+
+def _bounds(size: int, nblocks: int) -> tuple[int, ...]:
+    """Contiguous block boundaries: ``nblocks + 1`` cut points over size."""
+    base, rem = divmod(size, nblocks)
+    bounds = [0]
+    for i in range(nblocks):
+        bounds.append(bounds[-1] + base + (1 if i < rem else 0))
+    return tuple(bounds)
+
+
+def _result_buffer(
+    out: np.ndarray | None, m: int, n: int, dtype: np.dtype
+) -> np.ndarray:
+    target_ok = (
+        isinstance(out, np.ndarray)
+        and out.shape == (m, n)
+        and out.dtype == dtype
+        and out.flags.c_contiguous
+        and out.flags.writeable
+    )
+    return out if target_ok else np.empty((m, n), dtype=dtype)
+
+
+def _pooled_rows(
+    a: np.ndarray,
+    b: np.ndarray,
+    out: np.ndarray | None,
+    bounds: tuple[int, ...],
+    threads: int,
+    pool: ThreadPoolExecutor | None = None,
+) -> np.ndarray:
+    """Row-blocked pooled product over frozen ``bounds`` (bit-exact)."""
+    m, n = a.shape[0], b.shape[1]
+    nblocks = len(bounds) - 1
+    mnk = m * a.shape[1] * n
+    result = _result_buffer(out, m, n, a.dtype)
+
+    with trace.span(
+        "gemm.pool",
+        blocks=nblocks,
+        threads=threads,
+        rows_per_block=bounds[1],
+    ) as sp:
+        if pool is None:
+            pool = _get_pool(threads)
+        futures = [
+            pool.submit(_mm_block, a[s:e], b, result[s:e])
+            for s, e in zip(bounds[1:-1], bounds[2:])
+        ]
+        # The caller thread computes the first block while the pool
+        # works on the rest (one fewer dispatch, no idle caller).
+        _mm_block(a[: bounds[1]], b, result[: bounds[1]])
+        for f in futures:
+            f.result()
+        sp.add("rows", m)
+        sp.add("blocks", nblocks)
+        sp.add("flops", 2 * mnk)
+
+    with _state_lock:
+        _stats.calls += 1
+        _stats.pooled_calls += 1
+        _stats.pooled_blocks += nblocks
+        _stats.pooled_rows += m
+        _stats.pooled_flops += 2 * mnk
+
+    if out is not None and result is not out:
+        out[...] = result
+        return out
+    return result
+
+
+def _pooled_cols(
+    a: np.ndarray,
+    b: np.ndarray,
+    out: np.ndarray | None,
+    bounds: tuple[int, ...],
+    threads: int,
+    pool: ThreadPoolExecutor | None = None,
+) -> np.ndarray:
+    """Column-blocked pooled product over frozen ``bounds`` (bit-exact).
+
+    Output column ``j`` is ``a @ b[:, j]`` whichever block computes it —
+    no accumulation is re-associated — and the per-block floor behind
+    ``bounds`` was verified by :func:`_col_floor_is_exact`.
+    """
+    m, n = a.shape[0], b.shape[1]
+    nblocks = len(bounds) - 1
+    mnk = m * a.shape[1] * n
+    result = _result_buffer(out, m, n, a.dtype)
+
+    with trace.span(
+        "gemm.pool",
+        blocks=nblocks,
+        threads=threads,
+        rows_per_block=m,
+        axis="cols",
+    ) as sp:
+        if pool is None:
+            pool = _get_pool(threads)
+        futures = [
+            pool.submit(_mm_col_block, a, b[:, s:e], result[:, s:e])
+            for s, e in zip(bounds[1:-1], bounds[2:])
+        ]
+        _mm_col_block(a, b[:, : bounds[1]], result[:, : bounds[1]])
+        for f in futures:
+            f.result()
+        sp.add("rows", m)
+        sp.add("blocks", nblocks)
+        sp.add("flops", 2 * mnk)
+
+    with _state_lock:
+        _stats.calls += 1
+        _stats.col_calls += 1
+        _stats.col_blocks += nblocks
+        _stats.pooled_flops += 2 * mnk
+
+    if out is not None and result is not out:
+        out[...] = result
+        return out
+    return result
+
+
 def pgemm(
     a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
 ) -> np.ndarray:
@@ -397,58 +615,190 @@ def pgemm(
     if 2.0 * mnk < tune.min_flops:
         return _direct(a, b, out)
     nblocks = min(threads, m, mnk // tune.min_block_mnk)
-    if nblocks < 2:
+    if nblocks >= 2:
+        return _pooled_rows(a, b, out, _bounds(m, nblocks), threads)
+    if tune.verified_cols and m < threads:
+        # Row blocking can't split this one (short m / sub-floor row
+        # blocks): a wide-n fc-style GEMM may still column-block.
+        ncb = min(threads, n, mnk // tune.min_block_mnk_cols)
+        if ncb >= 2:
+            return _pooled_cols(a, b, out, _bounds(n, ncb), threads)
+    return _direct(a, b, out)
+
+
+# ---------------------------------------------------------------------------
+# pre-decided dispatch (compiled inference plans)
+
+
+@dataclass(frozen=True)
+class GemmDispatch:
+    """A frozen routing decision for one GEMM shape.
+
+    :func:`plan_gemm` runs :func:`pgemm`'s decision tree once for a
+    known ``(m, k, n, dtype)`` and freezes the outcome — direct vs
+    row-blocked vs column-blocked, including the exact block bounds —
+    so a compiled plan step replays the route without re-deriving it
+    per call.  Any route is bit-identical to ``a @ b`` (that is
+    ``pgemm``'s contract), so freezing can never change results; a
+    thread-width change after planning merely makes the frozen route
+    suboptimal until the plan recompiles.
+    """
+
+    kind: str                 #: ``direct`` | ``rows`` | ``cols``
+    m: int
+    k: int
+    n: int
+    dtype: np.dtype
+    bounds: tuple[int, ...]   #: cut points along the split axis (empty for direct)
+    threads: int
+
+    def run(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Execute ``a @ b`` along the frozen route."""
+        if a.shape != (self.m, self.k) or b.shape != (self.k, self.n) or \
+                a.dtype != self.dtype or b.dtype != self.dtype:
+            return pgemm(a, b, out)  # shape drifted from the plan: re-decide
+        with _state_lock:
+            _stats.planned_calls += 1
+        if self.kind == "rows":
+            return _pooled_rows(a, b, out, self.bounds, self.threads)
+        if self.kind == "cols":
+            return _pooled_cols(a, b, out, self.bounds, self.threads)
         return _direct(a, b, out)
 
-    target_ok = (
-        isinstance(out, np.ndarray)
-        and out.shape == (m, n)
-        and out.dtype == a.dtype
-        and out.flags.c_contiguous
-        and out.flags.writeable
+
+def _col_bounds_exact_for(
+    m: int, k: int, b: np.ndarray, bounds: tuple[int, ...]
+) -> bool:
+    """Per-shape, layout-true column-blocking verification.
+
+    Probes the *actual* right-hand operand (its memory layout decides
+    which BLAS kernel runs) against a random left operand: every column
+    slice must match the monolithic product bit-for-bit.  Kernel choice
+    depends on shape/layout, not data, so one probe certifies the
+    route for all inputs of that shape.
+    """
+    rng = np.random.default_rng(0x51C0)
+    a = rng.standard_normal((m, k)).astype(b.dtype)
+    full = a @ b
+    for s, e in zip(bounds[:-1], bounds[1:]):
+        if not np.array_equal(a @ b[:, s:e], full[:, s:e]):
+            return False
+    return True
+
+
+def plan_gemm(
+    m: int,
+    k: int,
+    n: int,
+    dtype: np.dtype | type,
+    b_sample: np.ndarray | None = None,
+) -> GemmDispatch:
+    """Freeze :func:`pgemm`'s routing decision for one GEMM shape.
+
+    ``b_sample``, when given, is the actual right-hand operand the plan
+    will run against (e.g. a transposed fc weight view).  It enables
+    the column route on BLAS builds where the *global* column floor
+    could not be verified: the candidate bounds are probed against
+    ``b_sample`` itself, layout and all, and accepted only bit-exact.
+    """
+    dtype = np.dtype(dtype)
+    threads = gemm_threads()
+    kind, bounds = "direct", ()
+    if threads > 1 and dtype in _BLAS_DTYPES and m > 0 and k > 0 and n > 0:
+        mnk = m * k * n
+        tune = tuning()
+        if 2.0 * mnk >= tune.min_flops:
+            nblocks = min(threads, m, mnk // tune.min_block_mnk)
+            if nblocks >= 2:
+                kind, bounds = "rows", _bounds(m, nblocks)
+            elif m < threads:
+                ncb = min(threads, n, mnk // tune.min_block_mnk_cols)
+                if ncb >= 2:
+                    cand = _bounds(n, ncb)
+                    ok = tune.verified_cols or (
+                        b_sample is not None
+                        and b_sample.shape == (k, n)
+                        and b_sample.dtype == dtype
+                        and _col_bounds_exact_for(m, k, b_sample, cand)
+                    )
+                    if ok:
+                        kind, bounds = "cols", cand
+    return GemmDispatch(
+        kind=kind, m=m, k=k, n=n, dtype=dtype, bounds=bounds, threads=threads
     )
-    result = out if target_ok else np.empty((m, n), dtype=a.dtype)
 
-    base, rem = divmod(m, nblocks)
-    bounds = [0]
-    for i in range(nblocks):
-        bounds.append(bounds[-1] + base + (1 if i < rem else 0))
 
-    with trace.span(
-        "gemm.pool",
-        blocks=nblocks,
-        threads=threads,
-        rows_per_block=base + (1 if rem else 0),
-    ) as sp:
-        pool = _get_pool(threads)
-        futures = [
-            pool.submit(_mm_block, a[s:e], b, result[s:e])
-            for s, e in zip(bounds[1:-1], bounds[2:])
-        ]
-        # The caller thread computes the first block while the pool
-        # works on the rest (one fewer dispatch, no idle caller).
-        _mm_block(a[: bounds[1]], b, result[: bounds[1]])
-        for f in futures:
-            f.result()
-        sp.add("rows", m)
-        sp.add("blocks", nblocks)
-        sp.add("flops", 2 * mnk)
+class DispatchGroup:
+    """Shared dispatch context for a run of back-to-back GEMMs.
 
-    with _state_lock:
-        _stats.calls += 1
-        _stats.pooled_calls += 1
-        _stats.pooled_blocks += nblocks
-        _stats.pooled_rows += m
-        _stats.pooled_flops += 2 * mnk
+    :func:`pgemm` re-resolves the pool width, the tuning record and the
+    pool handle — several lock acquisitions — on every call.  A
+    ``DispatchGroup`` snapshots them once; the GEMMs of a run (e.g. the
+    gathered-row products of consecutive sparse-path layers in a
+    compiled plan) are then issued through the snapshot, paying one
+    dispatch setup instead of N.  Routing decisions and block maths are
+    identical to :func:`pgemm`, so results are bit-identical; the
+    snapshot self-refreshes after ``fork`` (PID check).
 
-    if out is not None and result is not out:
-        out[...] = result
-        return out
-    return result
+    Note this batches the *dispatch* of the per-layer GEMMs, not the
+    GEMMs themselves: consecutive layers are data-dependent (layer
+    ``i+1`` consumes layer ``i``'s output), so their products cannot be
+    fused into one BLAS call.
+    """
+
+    __slots__ = ("threads", "tune", "pool", "pid")
+
+    def __init__(self) -> None:
+        self.refresh()
+
+    def refresh(self) -> None:
+        self.pid = os.getpid()
+        self.threads = gemm_threads()
+        self.tune = tuning()
+        self.pool = _get_pool(self.threads) if self.threads > 1 else None
+
+    def gemm(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """``a @ b`` via the snapshot (same routing as :func:`pgemm`)."""
+        if os.getpid() != self.pid or (
+            self.pool is not None and self.pool._shutdown
+        ):
+            # Post-fork, or the process pool was rebuilt/shut down
+            # (configure/reset) since the snapshot: take a fresh one.
+            self.refresh()
+        threads, tune = self.threads, self.tune
+        if (
+            threads <= 1
+            or a.ndim != 2
+            or b.ndim != 2
+            or a.dtype != b.dtype
+            or a.dtype not in _BLAS_DTYPES
+            or a.shape[1] != b.shape[0]
+        ):
+            return _direct(a, b, out)
+        m, k = a.shape
+        n = b.shape[1]
+        mnk = m * k * n
+        if 2.0 * mnk < tune.min_flops:
+            return _direct(a, b, out)
+        nblocks = min(threads, m, mnk // tune.min_block_mnk)
+        if nblocks >= 2:
+            return _pooled_rows(a, b, out, _bounds(m, nblocks), threads, self.pool)
+        if tune.verified_cols and m < threads:
+            ncb = min(threads, n, mnk // tune.min_block_mnk_cols)
+            if ncb >= 2:
+                return _pooled_cols(a, b, out, _bounds(n, ncb), threads, self.pool)
+        return _direct(a, b, out)
 
 
 __all__ = [
     "pgemm",
+    "plan_gemm",
+    "GemmDispatch",
+    "DispatchGroup",
     "configure",
     "gemm_threads",
     "default_threads",

@@ -42,6 +42,15 @@ class InstrumentedConv(Module):
         if self.engine.capture_inputs:
             self.executor.record.extra["last_input"] = x.data
         calibrating = self.engine.mode == "calibrate"
+        if not calibrating:
+            # Graph-mode plans: the model walks its own forward, but each
+            # conv routes through its pre-bound plan step (frozen packed
+            # operands, frozen GEMM dispatch, precomputed auto compare).
+            plan = self.engine._active_plan
+            if plan is not None:
+                step = plan.conv_steps.get(self.executor.info.name)
+                if step is not None:
+                    return Tensor(step.run(x.data))
         fn = self.executor.calibrate if calibrating else self.executor.run
         if trace.enabled():
             with trace.span(
@@ -88,7 +97,21 @@ class QuantizedInferenceEngine:
         self.capture_inputs = False
         self.executors: "OrderedDict[str, ConvExecutor]" = OrderedDict()
         self._originals: list[tuple[Module, str, int | None, Conv2d]] = []
+        #: When true, :meth:`infer` compiles and reuses shape-specialized
+        #: :class:`~repro.core.plan.InferencePlan`s (see that module).
+        #: ``forward``/``evaluate``/calibration always run unplanned.
+        self.use_plan = True
+        #: Max distinct (shape, dtype) specializations kept (LRU).
+        self.plan_cache_limit = 8
+        self._init_plan_state()
         self._install(skip_first_conv)
+
+    def _init_plan_state(self) -> None:
+        self._plans: "OrderedDict[tuple, object]" = OrderedDict()
+        self._active_plan = None
+        self._plan_stats = {
+            "compiles": 0, "hits": 0, "invalidated": 0, "evictions": 0,
+        }
 
     # -- mode handling -------------------------------------------------------------
 
@@ -121,8 +144,13 @@ class QuantizedInferenceEngine:
         for key, value in self.__dict__.items():
             if key == "_lock":
                 setattr(clone, key, threading.RLock())
+            elif key in ("_plans", "_active_plan", "_plan_stats"):
+                # Plans pre-bind this engine's executors (and may hold
+                # thread-pool handles); clones recompile lazily.
+                continue
             else:
                 setattr(clone, key, copy.deepcopy(value, memo))
+        clone._init_plan_state()
         return clone
 
     def clone(self) -> "QuantizedInferenceEngine":
@@ -168,6 +196,7 @@ class QuantizedInferenceEngine:
 
         swap_modules(self.model, transform)
         self.executors.clear()
+        self._plans.clear()
 
     # -- calibration ---------------------------------------------------------------
 
@@ -189,6 +218,9 @@ class QuantizedInferenceEngine:
                 self.model(Tensor(x[start : start + batch_size]))
             for executor in self.executors.values():
                 executor.freeze()
+            # Re-freezing replaces packed operands and qparams; compiled
+            # plans pre-bind those, so they are stale by construction.
+            self._plans.clear()
             self.mode = "run"
         _log.debug(
             "engine_calibrated",
@@ -210,6 +242,8 @@ class QuantizedInferenceEngine:
         x = np.asarray(x)
         if x.ndim != 4:
             raise ValueError(f"expected NCHW batch (4 dims), got shape {x.shape}")
+        if x.dtype not in (np.float32, np.float64):
+            x = x.astype(np.float64)  # the cast Tensor() would apply
         with self._lock:
             if self.mode != "run":
                 raise RuntimeError("engine not calibrated; call calibrate() first")
@@ -218,8 +252,46 @@ class QuantizedInferenceEngine:
                 with trace.span(
                     "engine.infer", batch=int(x.shape[0]), scheme=self.scheme.name
                 ):
-                    return self.model(Tensor(x)).data
+                    return self._infer_locked(x)
+            return self._infer_locked(x)
+
+    def _infer_locked(self, x: np.ndarray) -> np.ndarray:
+        """Planned dispatch for one batch; falls back to the legacy path.
+
+        Plans specialize on the observed (shape, dtype) and transparently
+        recompile on shape change (keyed, LRU-bounded) or when a staleness
+        probe fails (re-freeze, exec-path change, monkeypatched executor).
+        """
+        if not self.use_plan or self.capture_inputs:
             return self.model(Tensor(x)).data
+        key = (x.shape, x.dtype.str)
+        plan = self._plans.get(key)
+        if plan is not None:
+            if plan.valid():
+                self._plans.move_to_end(key)
+                self._plan_stats["hits"] += 1
+                return plan.run(x)
+            del self._plans[key]
+            self._plan_stats["invalidated"] += 1
+        from repro.core.plan import compile_plan
+
+        plan, out = compile_plan(self, x)
+        self._plans[key] = plan
+        self._plan_stats["compiles"] += 1
+        while len(self._plans) > self.plan_cache_limit:
+            self._plans.popitem(last=False)
+            self._plan_stats["evictions"] += 1
+        return out
+
+    def plan_stats(self) -> dict:
+        """Plan-cache counters plus a per-plan summary (profile table)."""
+        return {
+            **self._plan_stats,
+            "cached": len(self._plans),
+            "limit": self.plan_cache_limit,
+            "enabled": self.use_plan,
+            "plans": [p.summary() for p in self._plans.values()],
+        }
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Back-compat alias of :meth:`infer` (without the ndim check)."""

@@ -1,0 +1,688 @@
+"""Compiled inference plans: one-pass layer planning with shape-specialized dispatch.
+
+An :class:`InferencePlan` is compiled once per (engine, input shape/dtype)
+by tracing a single inference through the model and pre-binding, per
+layer, everything the hot path otherwise re-decides on every call:
+
+* packed weight operands (``PackedConvWeights`` frozen up front),
+* im2col geometry (output H/W, row counts) from the observed input shape,
+* the GEMM blocking decision, frozen via :func:`repro.core.gemm.plan_gemm`
+  into a :class:`~repro.core.gemm.GemmDispatch`,
+* the exec-path choice — ``auto`` reduced to one precomputed
+  row-count compare against ``sparse_crossover * rows``,
+* a shared :class:`~repro.core.gemm.DispatchGroup` per run of consecutive
+  sparse-capable conv layers, so the run amortizes dispatch bookkeeping
+  (thread-count/tuning snapshot, pool lookup) into one snapshot instead
+  of N per-call re-reads.  This batches the *dispatch*, not the GEMMs
+  themselves — consecutive layers are data-dependent, so their GEMMs
+  cannot be fused into one call.
+
+Two plan modes:
+
+``flat``
+    The traced leaf calls form a linear chain (verified by array
+    *identity*: each step consumed exactly the previous step's output).
+    ``run()`` is then a plain loop over numpy step closures — no Tensor
+    allocation, no autograd tape wiring, no backward-index precompute
+    (max-pool's scatter indices are the single largest non-GEMM cost of
+    the unplanned path).
+``graph``
+    The model's forward has structure a flat tape cannot honor
+    (residual adds, concats, repeated modules).  The model walks its own
+    Tensor graph as before, but every instrumented conv routes through
+    its pre-bound plan step, keeping the frozen operands and dispatch.
+
+Bit-exactness contract
+----------------------
+Every flat step mirrors the exact numpy expression tree of the Tensor op
+it replaces (e.g. ReLU is ``x * (x > 0)``, not ``np.maximum``; global
+average pooling is ``sum * (1.0 / count)``, not ``np.mean``; BatchNorm's
+subtraction is ``x + (-mean)``), so planned output is bit-identical
+(``==``) to the unplanned path — pinned by ``tests/core/test_plan.py``.
+
+Staleness
+---------
+A plan never goes stale silently.  ``valid()`` re-checks, by object
+identity, every piece of state a step froze (packed operands, weight and
+buffer arrays, exec-path config, instance-level ``run`` monkeypatches);
+the engine recompiles on mismatch.  Deliberately *not* frozen: the mask
+threshold (``effective_threshold`` is read per call so threshold sweeps
+hit the planned path unchanged) and the ``ColumnCache`` (built through
+``executor._build_cache`` so an installed ``cache_provider`` — e.g. the
+sweep column cache — keeps working).
+
+Records: the planned conv fast path maintains ``sensitive_total``, MAC
+counters and the ``exec_*`` extras (everything serving reads).  It skips
+``per_channel_sensitive`` / ``last_mask`` upkeep — those feed the
+accelerator mask dumps, which drive the unplanned ``forward()`` path.
+
+When tracing is enabled, planned conv steps delegate to ``executor.run``
+under the usual ``engine.layer`` span so profiles keep their span tree;
+the plan counts these as re-evaluated (vs frozen) dispatches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import gemm
+from repro.core.masks import mask_from_magnitude
+from repro.core.odq import ODQConvExecutor
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.tensor import Tensor
+from repro.obs import trace
+
+
+class PlanStep:
+    """One pre-bound operation of a flat plan.  Stateless steps are
+    always valid; stateful ones override :meth:`valid`."""
+
+    kind = "?"
+
+    def run(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def valid(self) -> bool:
+        return True
+
+    def describe(self) -> dict:
+        return {"kind": self.kind}
+
+
+class PassStep(PlanStep):
+    """Identity: eval-mode dropout, Identity modules, and pools whose
+    window exceeds the (shape-specialized) input."""
+
+    kind = "pass"
+
+    def __init__(self, reason: str, module=None) -> None:
+        self.reason = reason
+        self.module = module
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def valid(self) -> bool:
+        m = self.module
+        if isinstance(m, Dropout):
+            # Train-mode dropout with p > 0 is no longer an identity.
+            return not m.training or m.p <= 0.0
+        return True
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "reason": self.reason}
+
+
+class ReLUStep(PlanStep):
+    kind = "relu"
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        return x * (x > 0)
+
+
+class FlattenStep(PlanStep):
+    kind = "flatten"
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(x.shape[0], -1)
+
+
+class MaxPoolStep(PlanStep):
+    """``F.max_pool2d`` forward only — skips the backward scatter-index
+    precompute (divmod + 4 index grids + zeros) the Tensor op pays."""
+
+    kind = "maxpool"
+
+    def __init__(self, module: MaxPool2d, in_shape: tuple) -> None:
+        self.module = module
+        self.kernel = module.kernel_size
+        self.stride = module.stride
+        _, _, h, w = in_shape
+        self.oh = (h - self.kernel) // self.stride + 1
+        self.ow = (w - self.kernel) // self.stride + 1
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        n, c = x.shape[0], x.shape[1]
+        k, s = self.kernel, self.stride
+        sn, sc, sh, sw = x.strides
+        patches = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, self.oh, self.ow, k, k),
+            strides=(sn, sc, sh * s, sw * s, sh, sw),
+            writeable=False,
+        ).reshape(n, c, self.oh, self.ow, k * k)
+        arg = patches.argmax(axis=-1)
+        return np.take_along_axis(patches, arg[..., None], axis=-1)[..., 0]
+
+    def valid(self) -> bool:
+        return (
+            self.module.kernel_size == self.kernel
+            and self.module.stride == self.stride
+        )
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "kernel": self.kernel, "stride": self.stride}
+
+
+class AvgPoolStep(PlanStep):
+    kind = "avgpool"
+
+    def __init__(self, module: AvgPool2d, in_shape: tuple) -> None:
+        self.module = module
+        self.kernel = module.kernel_size
+        self.stride = module.stride
+        _, _, h, w = in_shape
+        self.oh = (h - self.kernel) // self.stride + 1
+        self.ow = (w - self.kernel) // self.stride + 1
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        n, c = x.shape[0], x.shape[1]
+        k, s = self.kernel, self.stride
+        sn, sc, sh, sw = x.strides
+        patches = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, self.oh, self.ow, k, k),
+            strides=(sn, sc, sh * s, sw * s, sh, sw),
+            writeable=False,
+        )
+        return patches.mean(axis=(-1, -2))
+
+    def valid(self) -> bool:
+        return (
+            self.module.kernel_size == self.kernel
+            and self.module.stride == self.stride
+        )
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "kernel": self.kernel, "stride": self.stride}
+
+
+class GlobalAvgPoolStep(PlanStep):
+    kind = "gap"
+
+    def __init__(self, in_shape: tuple) -> None:
+        _, _, h, w = in_shape
+        # Tensor.mean computes sum * (1.0 / count); mirror that exactly
+        # (multiply by the reciprocal, not np.mean).
+        self.inv = 1.0 / (h * w)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        return x.sum(axis=(2, 3)) * self.inv
+
+
+class LinearStep(PlanStep):
+    """``F.linear`` with the GEMM route frozen by :func:`gemm.plan_gemm`."""
+
+    kind = "linear"
+
+    def __init__(self, module: Linear, in_shape: tuple) -> None:
+        self.module = module
+        self._w_src = module.weight.data
+        self._b_src = None if module.bias is None else module.bias.data
+        m_rows, k = in_shape
+        n = module.out_features
+        self.dispatch = gemm.plan_gemm(
+            m_rows, k, n, self._w_src.dtype, b_sample=self._w_src.T
+        )
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        out = self.dispatch.run(x, self.module.weight.data.T)
+        if self._b_src is not None:
+            out = out + self._b_src
+        return out
+
+    def valid(self) -> bool:
+        m = self.module
+        if m.weight.data is not self._w_src:
+            return False
+        if self._b_src is None:
+            return m.bias is None
+        return m.bias is not None and m.bias.data is self._b_src
+
+    def describe(self) -> dict:
+        return {
+            "kind": self.kind,
+            "shape": [self.dispatch.m, self.dispatch.k, self.dispatch.n],
+            "dispatch": self.dispatch.kind,
+        }
+
+
+class BatchNormStep(PlanStep):
+    """Eval-mode BatchNorm2d with the per-channel constants pre-reshaped.
+
+    Mirrors the Tensor expression tree exactly: subtraction is
+    ``x + (-mean)`` and the scale is ``(var + eps) ** -0.5``.
+    """
+
+    kind = "batchnorm"
+
+    def __init__(self, module: BatchNorm2d) -> None:
+        self.module = module
+        self._rm_src = module.running_mean
+        self._rv_src = module.running_var
+        self._g_src = module.gamma.data
+        self._b_src = module.beta.data
+        self._eps = module.eps
+        self.neg_mean4 = -(module.running_mean.reshape(1, -1, 1, 1))
+        self.inv_std4 = (
+            module.running_var.reshape(1, -1, 1, 1) + module.eps
+        ) ** -0.5
+        self.gamma4 = module.gamma.data.reshape(1, -1, 1, 1)
+        self.beta4 = module.beta.data.reshape(1, -1, 1, 1)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        xhat = (x + self.neg_mean4) * self.inv_std4
+        return xhat * self.gamma4 + self.beta4
+
+    def valid(self) -> bool:
+        m = self.module
+        return (
+            not m.training
+            and m.running_mean is self._rm_src
+            and m.running_var is self._rv_src
+            and m.gamma.data is self._g_src
+            and m.beta.data is self._b_src
+            and m.eps == self._eps
+        )
+
+
+class PlannedConvStep(PlanStep):
+    """One instrumented conv with its per-call re-decisions pre-bound.
+
+    ``fast=True`` (an unpatched, frozen :class:`ODQConvExecutor`) runs a
+    streamlined mirror of ``ODQConvExecutor.run``: frozen packed
+    operands, frozen 2-D bias, one frozen :class:`GemmDispatch` for both
+    the predictor and dense GEMMs (same (rows, ckk, c_out) shape), the
+    ``auto`` branch reduced to one compare against a precomputed row
+    limit, and the sparse gather GEMM issued through the run's shared
+    :class:`DispatchGroup`.  Otherwise (non-ODQ scheme, subclass, or an
+    instance-level ``run`` monkeypatch) the step delegates to
+    ``executor.run`` — still profiting from the flat tape around it.
+    """
+
+    kind = "conv"
+
+    def __init__(self, ex, in_shape: tuple, counters: dict) -> None:
+        self.ex = ex
+        self.counters = counters
+        self.fast = (
+            type(ex) is ODQConvExecutor
+            and ex.frozen
+            and "run" not in ex.__dict__
+        )
+        self.sparse_group: gemm.DispatchGroup | None = None
+        self.in_shape = tuple(in_shape)
+        if not self.fast:
+            self.dispatch = None
+            return
+        n, _, h, w = in_shape
+        oh, ow = ex.info.output_hw(h, w)
+        self.rows = n * oh * ow
+        self.ckk = ex._packed.wmat_full.shape[0]
+        self.c_out = ex.info.out_channels
+        self.packed = ex._packed
+        self.bias2d = ex._bias2d()
+        self._bias_src = None if ex.conv.bias is None else ex.conv.bias.data
+        self.path_mode = ex.exec_path
+        self.crossover = ex.sparse_crossover
+        # auto reduced to a single precomputed row-fraction compare.
+        self.row_limit = self.crossover * self.rows
+        self.shift_f = float(1 << self.packed.high_shift)
+        self.dispatch = gemm.plan_gemm(
+            self.rows, self.ckk, self.c_out, np.float64,
+            b_sample=self.packed.wmat_full,
+        )
+
+    def valid(self) -> bool:
+        ex = self.ex
+        if not self.fast:
+            # A delegating step freezes no executor state; delegation
+            # stays correct even if the executor later qualifies for the
+            # fast path (it would just be slower until a recompile).
+            return True
+        if not (ex.frozen and ex._packed is self.packed):
+            return False
+        if "run" in ex.__dict__:
+            return False
+        if ex.exec_path != self.path_mode or ex.sparse_crossover != self.crossover:
+            return False
+        if self._bias_src is None:
+            return ex.conv.bias is None
+        return ex.conv.bias is not None and ex.conv.bias.data is self._bias_src
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        ex = self.ex
+        if not self.fast or trace.enabled():
+            self.counters["reevaluated"] += 1
+            if trace.enabled():
+                with trace.span("engine.layer", layer=ex.info.name, mode="run"):
+                    return ex.run(x)
+            return ex.run(x)
+        self.counters["frozen"] += 1
+        ex._note_shapes(x)
+        cache = ex._build_cache(x)
+        scale = cache.qp_a.scale * ex.qp_w.scale
+        packed = self.packed
+
+        hh2d = self.dispatch.run(cache.cols_high, packed.wmat_high)
+        partial2d = scale * (
+            hh2d * self.shift_f
+            + (cache.e_low - cache.qp_a.zero_point) * packed.w_sum
+        )
+        if self.bias2d is not None:
+            partial2d = partial2d + self.bias2d
+        partial = cache.to_nchw(partial2d)
+        if ex.collect_partials:
+            flat = np.abs(partial).reshape(-1)
+            step = max(1, flat.size // 4096)
+            ex.record.extra.setdefault("partial_abs_samples", []).append(flat[::step])
+
+        # Threshold is read per call (not frozen) so sweeps that mutate
+        # executor thresholds hit the planned path unchanged.
+        mask = mask_from_magnitude(partial, ex.effective_threshold)
+        any_rows = mask.mask.any(axis=1).reshape(-1)
+        n_sense_rows = int(np.count_nonzero(any_rows))
+
+        path = self.path_mode
+        if path == "auto":
+            path = "sparse" if n_sense_rows <= self.row_limit else "dense"
+
+        if path == "dense":
+            acc2d = self.dispatch.run(cache.cols, packed.wmat_full)
+            full2d = scale * (acc2d - cache.qp_a.zero_point * packed.w_sum)
+            if self.bias2d is not None:
+                full2d = full2d + self.bias2d
+            full = cache.to_nchw(full2d)
+            out = np.where(mask.mask, full, partial)
+            rows_computed = cache.rows
+            flops_full = cache.rows * self.ckk * self.c_out
+        else:
+            out2d = partial2d
+            sel = np.flatnonzero(any_rows)
+            if sel.size:
+                group = self.sparse_group
+                mm = gemm.pgemm if group is None else group.gemm
+                acc_rows = mm(cache.full_rows(sel), packed.wmat_full)
+                full_rows = scale * (
+                    acc_rows - cache.qp_a.zero_point * packed.w_sum
+                )
+                if self.bias2d is not None:
+                    full_rows = full_rows + self.bias2d
+                ni, rem = np.divmod(sel, cache.oh * cache.ow)
+                oi, oj = np.divmod(rem, cache.ow)
+                mask_rows = mask.mask[ni, :, oi, oj]
+                out2d[sel] = np.where(mask_rows, full_rows, out2d[sel])
+            out = partial
+            rows_computed = n_sense_rows
+            flops_full = n_sense_rows * self.ckk * self.c_out
+
+        rec = ex.record
+        rec.sensitive_total += mask.sensitive_count
+        ex._note_exec_path(
+            path, cache.rows, rows_computed, flops_full,
+            cache.rows * self.ckk * self.c_out,
+        )
+        mpo = ex.info.macs_per_output
+        n_out = partial.size
+        rec.macs["pred_int2"] += n_out * mpo
+        rec.macs["exec_int4"] += mask.sensitive_count * mpo
+        return out
+
+    def describe(self) -> dict:
+        d = {"kind": self.kind, "layer": self.ex.info.name, "fast": self.fast}
+        if self.fast:
+            d.update(
+                path=self.path_mode,
+                rows=self.rows,
+                row_limit=self.row_limit if self.path_mode == "auto" else None,
+                dispatch=self.dispatch.kind,
+                sparse_batched=self.sparse_group is not None,
+            )
+        return d
+
+
+_LEAF_STEP_TYPES = (
+    Identity, ReLU, Flatten, Linear, BatchNorm2d,
+    MaxPool2d, AvgPool2d, GlobalAvgPool2d, Dropout,
+)
+
+
+class InferencePlan:
+    """A compiled, shape-specialized execution recipe for one engine."""
+
+    def __init__(self, engine, input_shape, input_dtype, mode, steps,
+                 conv_steps, counters, sparse_groups) -> None:
+        self.engine = engine
+        self.input_shape = tuple(input_shape)
+        self.input_dtype = str(input_dtype)
+        self.mode = mode  # "flat" | "graph"
+        self.steps = steps
+        self.conv_steps = conv_steps  # name -> PlannedConvStep
+        self.counters = counters  # {"frozen": n, "reevaluated": n}
+        self.sparse_groups = sparse_groups
+        self.executions = 0
+
+    def valid(self) -> bool:
+        if self.mode == "flat":
+            return all(step.valid() for step in self.steps)
+        return all(step.valid() for step in self.conv_steps.values())
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        self.executions += 1
+        if self.mode == "flat":
+            out = x
+            for step in self.steps:
+                out = step.run(out)
+            return out
+        engine = self.engine
+        engine._active_plan = self
+        try:
+            return engine.model(Tensor(x)).data
+        finally:
+            engine._active_plan = None
+
+    # -- introspection -------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Compact digest for ``session.describe()`` and the profile table."""
+        return {
+            "input_shape": list(self.input_shape),
+            "input_dtype": self.input_dtype,
+            "mode": self.mode,
+            "steps": len(self.steps) if self.mode == "flat" else len(self.conv_steps),
+            "conv_steps": len(self.conv_steps),
+            "fast_conv_steps": sum(
+                1 for s in self.conv_steps.values() if s.fast
+            ),
+            "sparse_batched_layers": sum(len(g) for g in self.sparse_groups),
+            "executions": self.executions,
+            "dispatch_frozen": self.counters["frozen"],
+            "dispatch_reevaluated": self.counters["reevaluated"],
+        }
+
+    def describe(self) -> dict:
+        """Full step-by-step listing (the ``repro plan`` CLI output)."""
+        if self.mode == "flat":
+            steps = [step.describe() for step in self.steps]
+        else:
+            steps = [step.describe() for step in self.conv_steps.values()]
+        return {**self.summary(), "step_list": steps}
+
+
+class _TraceEntry:
+    __slots__ = ("module", "x", "out")
+
+    def __init__(self, module, x, out) -> None:
+        self.module = module
+        self.x = x
+        self.out = out
+
+
+def _trace_leaves(engine, x: np.ndarray):
+    """Run one inference with leaf forwards instrumented.
+
+    Returns ``(tape, output Tensor)``.  The traced call *is* a full
+    unplanned inference (records, spans, autograd all unchanged), so its
+    output doubles as the result of the batch that triggered the compile.
+    """
+    from repro.core.pipeline import InstrumentedConv
+
+    tape: list[_TraceEntry] = []
+    wrapped: list = []
+
+    def instrument(module) -> None:
+        orig = module.forward
+
+        def traced(t):
+            out = orig(t)
+            tape.append(_TraceEntry(module, t, out))
+            return out
+
+        module.__dict__["forward"] = traced
+        wrapped.append(module)
+
+    for _, m in engine.model.named_modules():
+        if "forward" in m.__dict__:
+            continue  # already instance-patched: leave it alone
+        if isinstance(m, InstrumentedConv) or type(m) in _LEAF_STEP_TYPES:
+            instrument(m)
+
+    xt = Tensor(x)
+    try:
+        out_t = engine.model(xt)
+    finally:
+        for m in wrapped:
+            m.__dict__.pop("forward", None)
+    return tape, xt, out_t
+
+
+def _is_linear_chain(tape, xt, out_t) -> bool:
+    """True when the traced calls form one pass-the-baton chain.
+
+    Verified by array *identity*: step i consumed exactly step i-1's
+    output and nothing else reached the model output.  Residual adds,
+    concats, and untraced custom modules all break identity and fall
+    back to graph mode.
+    """
+    if not tape:
+        return False
+    if tape[0].x.data is not xt.data:
+        return False
+    for prev, cur in zip(tape, tape[1:]):
+        if cur.x.data is not prev.out.data:
+            return False
+    return out_t.data is tape[-1].out.data
+
+
+def _flat_step_for(entry, counters):
+    """Map one traced leaf call to a flat step, or None if unsupported."""
+    from repro.core.pipeline import InstrumentedConv
+
+    m = entry.module
+    in_shape = entry.x.data.shape
+    if isinstance(m, InstrumentedConv):
+        return PlannedConvStep(m.executor, in_shape, counters)
+    if isinstance(m, Identity):
+        return PassStep("identity")
+    if isinstance(m, ReLU):
+        return ReLUStep()
+    if isinstance(m, Flatten):
+        return FlattenStep()
+    if isinstance(m, Dropout):
+        if m.training and m.p > 0.0:
+            return None  # stochastic: not plannable
+        return PassStep("dropout-eval", module=m)
+    if isinstance(m, (MaxPool2d, AvgPool2d)):
+        if min(in_shape[2], in_shape[3]) < m.kernel_size:
+            return PassStep("pool-smaller-than-window")
+        cls = MaxPoolStep if isinstance(m, MaxPool2d) else AvgPoolStep
+        return cls(m, in_shape)
+    if isinstance(m, GlobalAvgPool2d):
+        return GlobalAvgPoolStep(in_shape)
+    if isinstance(m, Linear):
+        return LinearStep(m, in_shape)
+    if isinstance(m, BatchNorm2d):
+        if m.training:
+            return None  # running-stat updates: not plannable
+        return BatchNormStep(m)
+    return None
+
+
+def _link_sparse_groups(conv_steps_in_order) -> list:
+    """Give each run of >=2 consecutive sparse-capable fast conv steps a
+    shared DispatchGroup (one dispatch snapshot per run instead of N)."""
+    groups: list[list[PlannedConvStep]] = []
+    current: list[PlannedConvStep] = []
+    for step in conv_steps_in_order:
+        if step.fast and step.path_mode in ("sparse", "auto"):
+            current.append(step)
+        else:
+            if len(current) >= 2:
+                groups.append(current)
+            current = []
+    if len(current) >= 2:
+        groups.append(current)
+    for members in groups:
+        group = gemm.DispatchGroup()
+        for step in members:
+            step.sparse_group = group
+    return groups
+
+
+def compile_plan(engine, x: np.ndarray):
+    """Compile a plan for ``engine`` specialized to ``x``'s shape/dtype.
+
+    Returns ``(plan, output)`` where ``output`` is the (bit-exact,
+    unplanned) inference result of ``x`` itself — the compile pass costs
+    one traced inference, never an extra forward.
+    """
+    tape, xt, out_t = _trace_leaves(engine, x)
+    counters = {"frozen": 0, "reevaluated": 0}
+
+    steps: list[PlanStep] | None = None
+    if _is_linear_chain(tape, xt, out_t):
+        candidate = [_flat_step_for(entry, counters) for entry in tape]
+        if all(step is not None for step in candidate):
+            steps = candidate
+
+    from repro.core.pipeline import InstrumentedConv
+
+    if steps is not None:
+        conv_in_order = [s for s in steps if isinstance(s, PlannedConvStep)]
+        mode = "flat"
+    else:
+        # Graph mode: the model keeps walking its own forward; convs
+        # route through pre-bound steps in traced execution order.
+        conv_in_order = [
+            PlannedConvStep(e.module.executor, e.x.data.shape, counters)
+            for e in tape
+            if isinstance(e.module, InstrumentedConv)
+        ]
+        steps = []
+        mode = "graph"
+
+    sparse_groups = _link_sparse_groups(conv_in_order)
+    conv_steps = {step.ex.info.name: step for step in conv_in_order}
+    plan = InferencePlan(
+        engine, x.shape, x.dtype, mode, steps, conv_steps, counters,
+        sparse_groups,
+    )
+    return plan, out_t.data
+
+
+__all__ = [
+    "InferencePlan",
+    "PlanStep",
+    "PlannedConvStep",
+    "compile_plan",
+]

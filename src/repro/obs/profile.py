@@ -413,6 +413,49 @@ class ProfileResult:
     images: int
     batches: int
     infer_seconds: float
+    plan: dict = field(default_factory=dict)
+
+    def render_plan(self) -> str:
+        """Compiled-plan table: steps, specialization traffic, dispatch.
+
+        ``dispatch frozen`` counts conv executions that used their
+        pre-bound fast path; ``re-evaluated`` counts delegations back to
+        ``executor.run`` (always the case under tracing, which is why a
+        traced profile shows re-evaluated dispatches — span parity is
+        deliberate).
+        """
+        plan = self.plan
+        if not plan:
+            return ""
+        head = (
+            f"plans: enabled={plan.get('enabled')} "
+            f"cached={plan.get('cached')}/{plan.get('limit')} "
+            f"compiles={plan.get('compiles')} hits={plan.get('hits')} "
+            f"invalidated={plan.get('invalidated')} "
+            f"evictions={plan.get('evictions')}"
+        )
+        rows = [
+            [
+                "x".join(str(d) for d in p.get("input_shape", [])),
+                p.get("mode", "?"),
+                p.get("steps", 0),
+                f"{p.get('fast_conv_steps', 0)}/{p.get('conv_steps', 0)}",
+                p.get("sparse_batched_layers", 0),
+                p.get("executions", 0),
+                p.get("dispatch_frozen", 0),
+                p.get("dispatch_reevaluated", 0),
+            ]
+            for p in plan.get("plans", [])
+        ]
+        if not rows:
+            return head
+        table = ascii_table(
+            ["input", "mode", "steps", "fast convs", "sparse-batched",
+             "runs", "dispatch frozen", "re-evaluated"],
+            rows,
+            title="compiled inference plans (repro.core.plan)",
+        )
+        return head + "\n\n" + table
 
     def render(self) -> str:
         head = (
@@ -422,7 +465,11 @@ class ProfileResult:
             f"images={self.images} batches={self.batches} "
             f"infer={self.infer_seconds * 1000.0:.1f}ms"
         )
-        return head + "\n\n" + self.report.render()
+        parts = [head, self.report.render()]
+        plan_part = self.render_plan()
+        if plan_part:
+            parts.append(plan_part)
+        return "\n\n".join(parts)
 
 
 def profile_inference(
@@ -436,6 +483,7 @@ def profile_inference(
     train_epochs: int = 0,
     exec_path: str = "auto",
     gemm_threads: int | None = None,
+    use_plan: bool = True,
     tracer=None,
 ) -> ProfileResult:
     """Build a session, trace ``batches`` inference batches, report.
@@ -446,6 +494,14 @@ def profile_inference(
     calibration are traced too (they appear in the flame view) but the
     per-phase report counts only ``run``-mode spans because calibration
     executes the FP reference path, not the ODQ phases.
+
+    With ``use_plan`` (the default) the compiled-plan table is appended
+    to the report.  Note that while the tracer is *collecting*, planned
+    conv steps delegate back to ``executor.run`` so the per-phase span
+    breakdown stays complete — the plan table will therefore count those
+    dispatches as re-evaluated, not frozen; the hit/compile traffic is
+    still representative.  ``use_plan=False`` (``--no-plan``) profiles
+    the legacy per-call path.
     """
     import time as _time
 
@@ -465,6 +521,7 @@ def profile_inference(
         calib_images=calib_images,
         exec_path=exec_path,
         gemm_threads=gemm_threads,
+        use_plan=use_plan,
     )
     session = ModelSession(config)
     engine = session.engine
@@ -496,6 +553,7 @@ def profile_inference(
         images=int(sample.shape[0]),
         batches=batches,
         infer_seconds=infer_seconds,
+        plan={"warmed": session.stats.plan_warmed, **engine.plan_stats()},
     )
 
 

@@ -37,6 +37,13 @@ class ServeConfig:
     exec_path:
         ODQ result-generation path (``auto | dense | sparse``; see
         :mod:`repro.core.odq`).  Ignored by non-ODQ schemes.
+    use_plan:
+        Compile shape-specialized inference plans
+        (:mod:`repro.core.plan`) at session warm-up and reuse them per
+        batch shape.  ``False`` (the ``--no-plan`` escape hatch) keeps
+        the legacy per-call path.  Like ``gemm_threads``, this changes
+        speed, never results (planned execution is bit-identical), so
+        it is not part of the session identity key.
 
     Batching
     --------
@@ -89,6 +96,7 @@ class ServeConfig:
     train_epochs: int = 0
     calib_images: int = 64
     exec_path: str = "auto"
+    use_plan: bool = True
     seed: int = DEFAULT_SEED
 
     max_batch_size: int = 8

@@ -93,6 +93,7 @@ class SessionStats:
     calib_images: int = 0
     packed_layers: int = 0
     engines_cloned: int = 0
+    plan_warmed: bool = False
     created_at: float = field(default_factory=time.time)
 
 
@@ -176,14 +177,41 @@ class ModelSession:
 
         self.engine = QuantizedInferenceEngine(self.model, self.scheme)
         self.engine.calibrate(calib)
+        self.engine.use_plan = config.use_plan
+        plan_warmed = False
+        if config.use_plan:
+            self._warm_plan(config)
+            plan_warmed = True
 
         self.stats = SessionStats(
             build_seconds=time.perf_counter() - t0,
             train_epochs=config.train_epochs,
             calib_images=len(calib),
             packed_layers=sum(1 for ex in self.engine.executors.values() if ex.frozen),
+            plan_warmed=plan_warmed,
         )
         self._clone_lock = threading.Lock()
+
+    def _warm_plan(self, config: ServeConfig) -> None:
+        """Compile the steady-state inference plan before serving starts.
+
+        Specializes on the batcher's full coalesced batch shape
+        (``max_batch_size``), so the first loaded request doesn't pay the
+        compile.  The warm inference runs against scratch layer records:
+        the session's real records stay exactly as calibration left them
+        (they seed the drift-monitor baseline).
+        """
+        reps = -(-config.max_batch_size // len(self.sample_inputs))
+        warm = np.concatenate([self.sample_inputs] * reps)[: config.max_batch_size]
+        engine = self.engine
+        saved = {name: ex.record for name, ex in engine.executors.items()}
+        try:
+            engine.reset_records()
+            with trace.span("serve.plan_warm", batch=int(warm.shape[0])):
+                engine.infer(warm)
+        finally:
+            for name, ex in engine.executors.items():
+                ex.record = saved[name]
 
     # -- engines ------------------------------------------------------------
 
@@ -217,6 +245,10 @@ class ModelSession:
             "packed_layers": self.stats.packed_layers,
             "engines_cloned": self.stats.engines_cloned,
             "gemm_threads": gemm.gemm_threads(),
+            "plan": {
+                "warmed": self.stats.plan_warmed,
+                **self.engine.plan_stats(),
+            },
         }
 
 

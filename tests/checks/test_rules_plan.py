@@ -1,0 +1,127 @@
+"""PLN5xx fixtures: positive, negative, and noqa-suppressed snippets."""
+
+import textwrap
+
+from repro.checks.engine import run_source
+
+
+def scan(src, **kw):
+    return run_source(textwrap.dedent(src), **kw)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestPLN501AdhocColumnCache:
+    def test_module_level_construction_flagged(self):
+        src = """
+        from repro.core.colcache import ColumnCache
+        cache = ColumnCache(x, qp, 3, 1, 1, 2, True)
+        """
+        findings = scan(src)
+        assert rules_of(findings) == ["PLN501"]
+        assert "_build_cache" in findings[0].message
+
+    def test_construction_in_hot_function_flagged(self):
+        src = """
+        from repro.core import colcache
+
+        def run_layer(self, x):
+            cache = colcache.ColumnCache(x, self.qp, 3, 1, 1, 2, True)
+            return cache.cols
+        """
+        assert rules_of(scan(src)) == ["PLN501"]
+
+    def test_fresh_cache_factory_is_clean(self):
+        src = """
+        from repro.core.colcache import ColumnCache
+
+        class Executor:
+            def _fresh_cache(self, x, compensate=None):
+                return ColumnCache(x, self.qp, 3, 1, 1, 2, compensate)
+        """
+        assert scan(src) == []
+
+    def test_sweep_cache_construction_is_clean(self):
+        src = """
+        from repro.core.colcache import SweepColumnCache
+
+        def make_provider():
+            return SweepColumnCache(capacity=4)
+        """
+        assert scan(src) == []
+
+    def test_colcache_module_is_exempt(self):
+        src = "cache = ColumnCache(x, qp, 3, 1, 1, 2, True)\n"
+        assert scan(src, path="src/repro/core/colcache.py") == []
+
+    def test_noqa_with_reason_suppresses(self):
+        src = (
+            "cache = ColumnCache(x, qp, 3, 1, 1, 2, True)"
+            "  # repro: noqa[PLN501] — pure-function API, no provider exists\n"
+        )
+        assert scan(src) == []
+
+
+class TestPLN502ExternalPlanStateMutation:
+    def test_assignment_flagged(self):
+        src = """
+        def reset(engine):
+            engine._active_plan = None
+        """
+        assert rules_of(scan(src)) == ["PLN502"]
+
+    def test_mutating_method_flagged(self):
+        src = """
+        def nuke(engine):
+            engine._plans.clear()
+        """
+        assert rules_of(scan(src)) == ["PLN502"]
+
+    def test_del_flagged(self):
+        src = """
+        def evict(engine, key):
+            del engine._plans[key]
+        """
+        assert rules_of(scan(src)) == ["PLN502"]
+
+    def test_reads_are_clean(self):
+        src = """
+        def describe(engine):
+            modes = sorted({p.mode for p in engine._plans.values()})
+            return modes, engine._plans.get(("shape",))
+        """
+        assert scan(src) == []
+
+    def test_pipeline_module_is_exempt(self):
+        src = "self._plans.clear()\n"
+        assert scan(src, path="src/repro/core/pipeline.py") == []
+
+
+class TestPLN503ForwardShadowing:
+    def test_attribute_assignment_flagged(self):
+        src = """
+        def hack(module, fn):
+            module.forward = fn
+        """
+        assert rules_of(scan(src)) == ["PLN503"]
+
+    def test_dict_assignment_flagged(self):
+        src = """
+        def hack(module, fn):
+            module.__dict__["forward"] = fn
+        """
+        assert rules_of(scan(src)) == ["PLN503"]
+
+    def test_class_forward_def_is_clean(self):
+        src = """
+        class Layer:
+            def forward(self, x):
+                return x
+        """
+        assert scan(src) == []
+
+    def test_plan_tracer_is_exempt(self):
+        src = 'module.__dict__["forward"] = traced\n'
+        assert scan(src, path="src/repro/core/plan.py") == []

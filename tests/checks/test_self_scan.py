@@ -41,7 +41,7 @@ def test_sup001_meta_rule_cannot_be_suppressed():
 
 def test_registry_is_complete_and_well_formed():
     fams = checks.families()
-    assert set(fams) == {"dtype", "threads", "obs", "numeric"}
+    assert set(fams) == {"dtype", "threads", "obs", "numeric", "plan"}
     for family, ids in fams.items():
         assert len(ids) >= 3, f"family {family} has fewer than 3 rules"
     all_ids = [r.id for r in checks.iter_rules()]

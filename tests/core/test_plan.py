@@ -1,0 +1,210 @@
+"""Compiled inference plans (:mod:`repro.core.plan`).
+
+The tentpole claim: planned execution is *bit-identical* (``==``, not
+approx) to the legacy per-call path — across conv geometry (stride,
+padding, bias), every exec path, and changing batch shapes — because
+every plan step mirrors the exact expression tree the Tensor ops
+evaluate.  Also pinned here: shape-change recompiles, staleness
+invalidation, LRU bounding of the per-engine plan cache, and clone
+isolation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.odq import ODQConvExecutor
+from repro.core.pipeline import QuantizedInferenceEngine
+from repro.core.schemes import odq_scheme
+from repro.nn.layers import (
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+
+SIZE = 12  # input spatial size; small on purpose (many engines built here)
+
+
+def _conv_net(stride: int, padding: int, bias: bool, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    o1 = (SIZE + 2 * padding - 3) // stride + 1
+    feat = o1 // 2
+    return Sequential(
+        Conv2d(2, 4, 3, stride=stride, padding=padding, bias=bias, rng=rng),
+        ReLU(),
+        Conv2d(4, 4, 3, padding=1, bias=bias, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(4 * feat * feat, 5, rng=rng),
+    )
+
+
+def _calibrated_engine(model, exec_path: str = "auto", threshold: float = 0.5):
+    rng = np.random.default_rng(7)
+    x_calib = rng.normal(0.0, 1.0, size=(16, 2, SIZE, SIZE))
+    engine = QuantizedInferenceEngine(
+        model, odq_scheme(threshold, exec_path=exec_path)
+    )
+    engine.calibrate(x_calib)
+    return engine
+
+
+def _batch(n: int, seed: int = 42) -> np.ndarray:
+    return np.random.default_rng(seed).normal(0.0, 1.0, size=(n, 2, SIZE, SIZE))
+
+
+def _planned_vs_unplanned(engine, x) -> tuple[np.ndarray, np.ndarray]:
+    engine.use_plan = False
+    ref = engine.infer(x)
+    engine.use_plan = True
+    out = engine.infer(x)
+    return out, ref
+
+
+class TestPlannedBitExactness:
+    @pytest.mark.parametrize("stride", [1, 2])
+    @pytest.mark.parametrize("padding", [0, 1])
+    @pytest.mark.parametrize("bias", [True, False])
+    def test_geometry_grid(self, stride, padding, bias):
+        engine = _calibrated_engine(_conv_net(stride, padding, bias))
+        try:
+            for n in (1, 3, 8):
+                x = _batch(n, seed=n)
+                out, ref = _planned_vs_unplanned(engine, x)
+                assert out.dtype == ref.dtype
+                assert np.array_equal(out, ref)  # bit-identical, not approx
+        finally:
+            engine.restore()
+        stats = engine.plan_stats()
+        assert stats["compiles"] >= 1
+
+    @pytest.mark.parametrize("exec_path", ["auto", "dense", "sparse"])
+    def test_exec_path_grid(self, exec_path):
+        engine = _calibrated_engine(_conv_net(1, 1, True), exec_path=exec_path)
+        try:
+            x = _batch(4)
+            out, ref = _planned_vs_unplanned(engine, x)
+            assert np.array_equal(out, ref)
+            # A second planned run executes the compiled steps (the
+            # compile's traced call doubles as the first inference), and
+            # it must actually take the frozen fast path, not delegate.
+            again = engine.infer(x)
+            assert np.array_equal(again, ref)
+            plans = engine.plan_stats()["plans"]
+            assert plans and plans[0]["mode"] == "flat"
+            assert plans[0]["fast_conv_steps"] == plans[0]["conv_steps"] == 2
+            assert plans[0]["dispatch_frozen"] > 0
+        finally:
+            engine.restore()
+
+    def test_threshold_change_stays_exact_without_recompile(self):
+        """effective_threshold is read per call (deliberately not frozen),
+        so sweeping theta must not invalidate the plan — and must still
+        match the unplanned path bit-for-bit."""
+        engine = _calibrated_engine(_conv_net(1, 1, True))
+        try:
+            x = _batch(4)
+            engine.infer(x)  # compile
+            compiles = engine.plan_stats()["compiles"]
+            for ex in engine.executors.values():
+                if isinstance(ex, ODQConvExecutor):
+                    ex.threshold = 0.05
+            out, ref = _planned_vs_unplanned(engine, x)
+            assert np.array_equal(out, ref)
+            assert engine.plan_stats()["compiles"] == compiles
+        finally:
+            engine.restore()
+
+    def test_graph_mode_residual_model(self, trained_resnet, calib_batch):
+        """Residual adds break the flat-chain identity check; the plan
+        falls back to graph mode (model drives, conv steps pre-bound) and
+        must stay bit-identical."""
+        model, _ = trained_resnet
+        engine = QuantizedInferenceEngine(model, odq_scheme(0.5))
+        try:
+            engine.calibrate(calib_batch[:16])
+            x = calib_batch[:4]
+            out, ref = _planned_vs_unplanned(engine, x)
+            assert np.array_equal(out, ref)
+            plans = engine.plan_stats()["plans"]
+            assert plans and plans[0]["mode"] == "graph"
+        finally:
+            engine.restore()
+
+
+class TestPlanLifecycle:
+    def test_recompile_on_shape_change_then_hit(self):
+        engine = _calibrated_engine(_conv_net(1, 1, True))
+        try:
+            engine.infer(_batch(4))
+            engine.infer(_batch(2))
+            engine.infer(_batch(4))  # back to the first shape: cache hit
+            stats = engine.plan_stats()
+            assert stats["compiles"] == 2
+            assert stats["hits"] == 1
+            assert stats["cached"] == 2
+            shapes = {tuple(p["input_shape"]) for p in stats["plans"]}
+            assert shapes == {(4, 2, SIZE, SIZE), (2, 2, SIZE, SIZE)}
+        finally:
+            engine.restore()
+
+    def test_lru_bound_evicts_oldest(self):
+        engine = _calibrated_engine(_conv_net(1, 1, True))
+        try:
+            engine.plan_cache_limit = 2
+            for n in (1, 2, 3, 4):
+                engine.infer(_batch(n))
+            stats = engine.plan_stats()
+            assert stats["compiles"] == 4
+            assert stats["evictions"] == 2
+            assert stats["cached"] == 2
+            # Oldest shapes are gone; most-recent two remain.
+            shapes = {tuple(p["input_shape"])[0] for p in stats["plans"]}
+            assert shapes == {3, 4}
+        finally:
+            engine.restore()
+
+    def test_stale_plan_invalidated_on_executor_change(self):
+        """Flipping a frozen decision (exec_path) must invalidate the
+        cached plan, recompile, and still match the unplanned path."""
+        engine = _calibrated_engine(_conv_net(1, 1, True), exec_path="dense")
+        try:
+            x = _batch(4)
+            engine.infer(x)
+            for ex in engine.executors.values():
+                if isinstance(ex, ODQConvExecutor):
+                    ex.exec_path = "sparse"
+            out, ref = _planned_vs_unplanned(engine, x)
+            assert np.array_equal(out, ref)
+            stats = engine.plan_stats()
+            assert stats["invalidated"] >= 1
+            assert stats["compiles"] >= 2
+        finally:
+            engine.restore()
+
+    def test_clone_gets_fresh_plan_state(self):
+        engine = _calibrated_engine(_conv_net(1, 1, True))
+        try:
+            x = _batch(4)
+            engine.infer(x)
+            clone = engine.clone()
+            stats = clone.plan_stats()
+            assert stats["compiles"] == 0 and stats["cached"] == 0
+            out = clone.infer(x)
+            ref = engine.infer(x)
+            assert np.array_equal(out, ref)
+        finally:
+            engine.restore()
+
+    def test_no_plan_flag_bypasses_compilation(self):
+        engine = _calibrated_engine(_conv_net(1, 1, True))
+        try:
+            engine.use_plan = False
+            engine.infer(_batch(4))
+            stats = engine.plan_stats()
+            assert stats["compiles"] == 0 and not stats["enabled"]
+        finally:
+            engine.restore()

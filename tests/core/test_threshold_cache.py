@@ -162,3 +162,54 @@ class TestCacheAccounting:
         assert SweepColumnCache.fingerprint(x) == SweepColumnCache.fingerprint(
             x.copy()
         )
+
+
+class TestPackedWeightsStore:
+    """Freeze-time packed-operand reuse (content-addressed, process-wide).
+
+    The sweep rebuilds engines whose quantized weights are identical
+    across thresholds; re-freezing must hit the store instead of
+    re-packing, and hits must alias the same PackedConvWeights object.
+    """
+
+    def test_refreeze_same_weights_hits_store(
+        self, trained_resnet, calib_batch
+    ):
+        from repro.core.colcache import packed_store
+
+        model, _ = trained_resnet
+        x = calib_batch[:8]
+        store = packed_store()
+        store.clear()
+
+        e1 = QuantizedInferenceEngine(model, odq_scheme(0.5))
+        try:
+            e1.calibrate(x)
+            odq1 = [
+                ex for ex in e1.executors.values()
+                if isinstance(ex, ODQConvExecutor)
+            ]
+            packed1 = {ex.info.name: ex._packed for ex in odq1}
+            s1 = store.stats()
+            # First freeze packs every distinct conv once, hits nothing.
+            assert s1["misses"] == len(odq1)
+            assert s1["hits"] == 0
+        finally:
+            e1.restore()
+
+        # Different threshold, same weights: packing is theta-independent,
+        # so the second freeze must be pure hits — zero new packs.
+        e2 = QuantizedInferenceEngine(model, odq_scheme(0.25))
+        try:
+            e2.calibrate(x)
+            odq2 = [
+                ex for ex in e2.executors.values()
+                if isinstance(ex, ODQConvExecutor)
+            ]
+            s2 = store.stats()
+            assert s2["misses"] == s1["misses"]
+            assert s2["hits"] == len(odq2)
+            for ex in odq2:
+                assert ex._packed is packed1[ex.info.name]
+        finally:
+            e2.restore()
