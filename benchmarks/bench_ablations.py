@@ -22,7 +22,6 @@ from repro.accel.schedule import (
 from repro.accel.simulator import ODQAccelerator, workloads_from_records
 from repro.core.odq import ODQConvExecutor
 from repro.core.pipeline import run_scheme
-from repro.core.schemes import Scheme
 from repro.nn import Conv2d
 from repro.utils.report import ascii_table
 

@@ -10,7 +10,6 @@ One bench file regenerates all four because they share a single
 instrumented DRQ inference pass (exactly as in the paper's study).
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.motivation import (

@@ -5,8 +5,6 @@ ResNet-56 (Fig. 9) and ResNet-20 (Fig. 10).  The paper's takeaway is the
 dynamic PE allocation; the benches assert that variation exists.
 """
 
-import numpy as np
-import pytest
 
 from repro.analysis.sensitivity import (
     per_layer_insensitivity,

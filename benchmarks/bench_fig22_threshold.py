@@ -6,7 +6,6 @@ paper's shape: raising the threshold trades accuracy (gently at first)
 for a growing INT2 share.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.sensitivity import render_threshold_sweep

@@ -23,17 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.config import (
-    ACCEL_DRQ,
-    ACCEL_INT8,
-    ACCEL_INT16,
-    ACCEL_ODQ,
-    EXECUTOR_MAC_CYCLES,
-    INT8_ON_INT4_PE_CYCLES,
-    PES_PER_ARRAY,
-    PREDICTOR_MAC_CYCLES,
-    AcceleratorSpec,
-)
+from repro.config import ACCEL_DRQ, ACCEL_INT8, ACCEL_INT16, ACCEL_ODQ, EXECUTOR_MAC_CYCLES, PES_PER_ARRAY, PREDICTOR_MAC_CYCLES, AcceleratorSpec
 from repro.accel.alloc import (
     IdleStats,
     PEAllocation,

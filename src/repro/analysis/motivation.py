@@ -12,7 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.pipeline import QuantizedInferenceEngine
-from repro.core.schemes import drq_scheme, odq_scheme
+from repro.core.schemes import drq_scheme
 from repro.core.stats import (
     BUCKET_LABELS,
     MotivationLayerStats,

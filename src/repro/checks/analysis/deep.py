@@ -1,0 +1,160 @@
+"""``repro check --deep`` — the whole-program analysis driver.
+
+One deep run =
+
+1. **shallow pass** — the per-file rules over the requested files (in
+   ``--changed`` mode, just the changed subset), minus the rules a deep
+   successor supersedes (``DTY103`` -> ``DTY110``);
+2. **project build** — parse/summarize every file under the scan roots,
+   serving summaries from the content-addressed cache when the source is
+   unchanged;
+3. **deep pass** — call graph + thread roots, interprocedural locksets
+   (THR210/THR211), dtype-exactness flow (DTY110);
+4. **upgrades** — shallow THR201/THR203 findings are re-judged with
+   call-graph facts: a mutation that provably runs under a caller's lock,
+   or a pool creation guarded by a caller's PID probe, is dropped;
+5. **suppression** — deep findings obey the same physical-line
+   ``# repro: noqa[RULE] — why`` policy as shallow ones.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from repro.checks.analysis.cache import DEFAULT_CACHE_DIR, SummaryCache
+from repro.checks.analysis.callgraph import CallGraph
+from repro.checks.analysis.dtypeflow import find_dtype_flow_violations
+from repro.checks.analysis.lockset import (
+    find_inconsistent_locksets,
+    find_lock_order_inversions,
+    upgrade_thr201,
+    upgrade_thr203,
+)
+from repro.checks.analysis.project import Project
+from repro.checks.engine import run as run_shallow
+from repro.checks.engine import suppression_covers
+from repro.checks.findings import Finding
+from repro.checks.rules.deep import SUPERSEDED_BY_DEEP
+
+
+class DeepResult:
+    """Findings plus the run's bookkeeping (cache stats, timings)."""
+
+    def __init__(
+        self,
+        findings: list[Finding],
+        project: Project,
+        graph: CallGraph,
+        cache_stats: dict[str, int],
+        elapsed: float,
+    ):
+        self.findings = findings
+        self.project = project
+        self.graph = graph
+        self.cache_stats = cache_stats
+        self.elapsed = elapsed
+
+
+def _deep_findings(graph: CallGraph) -> list[Finding]:
+    out: list[Finding] = []
+    out.extend(find_inconsistent_locksets(graph))
+    out.extend(find_lock_order_inversions(graph))
+    out.extend(find_dtype_flow_violations(graph))
+    return out
+
+
+def _apply_suppressions(
+    project: Project, findings: list[Finding]
+) -> list[Finding]:
+    tables = {
+        ctx.path: ctx.suppressions for ctx in project.contexts.values()
+    }
+    kept = []
+    for f in findings:
+        table = tables.get(f.path)
+        if table is not None and suppression_covers(table, f):
+            continue
+        kept.append(f)
+    return kept
+
+
+def run_deep(
+    paths: Sequence[str] | str,
+    rules: Iterable[str] | None = None,
+    shallow_paths: Sequence[str] | None = None,
+    cache_dir: str | None = DEFAULT_CACHE_DIR,
+) -> DeepResult:
+    """Run the combined shallow + whole-program analysis.
+
+    ``paths`` are the project roots the deep analysis covers; the
+    shallow per-file rules run over ``shallow_paths`` when given (the
+    ``--changed`` subset) and over ``paths`` otherwise.  ``cache_dir``
+    of ``None`` disables the summary cache.
+    """
+    start = time.perf_counter()
+    if isinstance(paths, str):
+        paths = [paths]
+
+    # 1. Shallow rules, minus the superseded ones (unless explicitly
+    # requested by id — an explicit --rules selection always wins).
+    selected = list(rules) if rules is not None else None
+    shallow_rules = selected
+    if selected is None:
+        from repro.checks.registry import iter_rules
+
+        shallow_rules = [
+            r.id for r in iter_rules() if r.id not in SUPERSEDED_BY_DEEP
+        ]
+    scan_paths = list(shallow_paths) if shallow_paths is not None else list(paths)
+    findings = run_shallow(scan_paths, rules=shallow_rules) if scan_paths else []
+
+    # 2./3. Whole-program phase from (cached) summaries.
+    cache = SummaryCache(cache_dir) if cache_dir is not None else None
+    project = Project.load(paths, cache=cache)
+    graph = CallGraph.build(project)
+
+    wanted = set(selected) if selected is not None else None
+    deep = [
+        f for f in _deep_findings(graph)
+        if wanted is None or f.rule in wanted
+    ]
+    deep = _apply_suppressions(project, deep)
+    findings.extend(deep)
+
+    # 4. Call-graph upgrades of the syntactic THR rules.
+    findings = upgrade_thr201(graph, findings)
+    findings = upgrade_thr203(graph, findings)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return DeepResult(
+        findings=findings,
+        project=project,
+        graph=graph,
+        cache_stats=cache.stats() if cache is not None else {},
+        elapsed=time.perf_counter() - start,
+    )
+
+
+def run_deep_sources(
+    sources: dict[str, str],
+    rules: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Deep analysis over in-memory ``{path: source}`` (fixture tests).
+
+    Only the deep findings are returned (the shallow rules have their
+    own fixture suites); suppressions still apply.
+    """
+    project = Project.from_sources(sources)
+    graph = CallGraph.build(project)
+    wanted = set(rules) if rules is not None else None
+    deep = [
+        f for f in _deep_findings(graph)
+        if wanted is None or f.rule in wanted
+    ]
+    deep = _apply_suppressions(project, deep)
+    deep.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return deep
+
+
+__all__ = ["run_deep", "run_deep_sources", "DeepResult"]

@@ -31,12 +31,28 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
-        "--format", choices=["text", "json"], default="text",
-        help="report format",
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="report format (sarif targets GitHub code scanning)",
     )
     parser.add_argument(
         "--changed", action="store_true",
-        help="scan only .py files changed vs git HEAD (pre-commit mode)",
+        help="scan only .py files changed vs git HEAD (pre-commit mode); "
+        "outside a git work-tree this falls back to a full scan",
+    )
+    parser.add_argument(
+        "--deep", action="store_true",
+        help="also run the whole-program analyses (THR210/THR211/DTY110); "
+        "with --changed, shallow rules cover the changed subset while the "
+        "deep pass still sees the full tree (from the summary cache)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="summary-cache directory for --deep "
+        "(default: .repro-check-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the --deep summary cache",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -44,21 +60,27 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _changed_files(paths: Sequence[str]) -> list[str]:
-    """``.py`` files changed vs HEAD (staged, unstaged, untracked)."""
+def _changed_files(paths: Sequence[str]) -> list[str] | None:
+    """``.py`` files changed vs HEAD (staged, unstaged, untracked).
+
+    Returns ``None`` when git is unavailable or the working directory is
+    not inside a work-tree (e.g. an exported tarball) — the caller falls
+    back to a full-tree scan instead of crashing.
+    """
     cmds = (
         ["git", "diff", "--name-only", "HEAD", "--"],
         ["git", "ls-files", "--others", "--exclude-standard"],
     )
     names: set[str] = set()
     for cmd in cmds:
-        proc = subprocess.run(
-            cmd, capture_output=True, text=True, check=False
-        )
-        if proc.returncode != 0:
-            raise RuntimeError(
-                f"git failed ({' '.join(cmd)}): {proc.stderr.strip()}"
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, check=False
             )
+        except OSError:
+            return None  # git binary missing
+        if proc.returncode != 0:
+            return None  # not a work-tree, unborn HEAD, etc.
         names.update(line.strip() for line in proc.stdout.splitlines() if line.strip())
     roots = [Path(p).resolve() for p in paths]
     out = []
@@ -83,10 +105,14 @@ def _render_rule_list() -> str:
     for family, ids in families().items():
         lines.append(f"[{fam_titles.get(family, family)}]")
         for rule in iter_rules(ids):
-            lines.append(f"  {rule.id}  ({rule.severity.value:<7}) {rule.summary}")
+            marker = " [deep]" if rule.deep else ""
+            lines.append(
+                f"  {rule.id}  ({rule.severity.value:<7}) {rule.summary}{marker}"
+            )
         lines.append("")
     lines.append("SUP001  (error  ) `# repro: noqa[RULE]` without a justification")
     lines.append("")
+    lines.append("rules marked [deep] need `repro check --deep` (whole-program)")
     lines.append("suppress with: <code>  # repro: noqa[RULE] — <why it is safe>")
     return "\n".join(lines)
 
@@ -112,16 +138,36 @@ def run_check(args: argparse.Namespace) -> int:
     if args.rules:
         rules = [r.strip() for r in args.rules.split(",") if r.strip()]
 
+    deep = getattr(args, "deep", False)
     try:
         # Validate rule ids before touching the filesystem.
         list(iter_rules(rules))
+        shallow_paths: list[str] | None = None
         if args.changed:
-            paths = _changed_files(paths)
-            if not paths:
+            changed = _changed_files(paths)
+            if changed is None:
+                console(
+                    "repro check: warning: --changed needs a git work-tree; "
+                    "falling back to a full scan",
+                    err=True,
+                )
+            elif not changed and not deep:
                 console("repro check: no changed .py files — nothing to scan")
                 return 0
+            else:
+                # Deep mode keeps the full roots for the whole-program
+                # pass; only the shallow per-file rules narrow to the
+                # changed subset.
+                if deep:
+                    shallow_paths = changed
+                else:
+                    paths = changed
         scanned = len(discover(paths))
-        findings = run(paths, rules=rules)
+        if deep:
+            result = _run_deep(args, paths, rules, shallow_paths)
+            findings = result.findings
+        else:
+            findings = run(paths, rules=rules)
     except KeyError as exc:
         console(f"repro check: error: {exc.args[0]}", err=True)
         return 2
@@ -131,9 +177,32 @@ def run_check(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         console(render_json(findings, scanned))
+    elif args.format == "sarif":
+        from repro.checks.sarif import render_sarif
+
+        console(render_sarif(findings, scanned))
     else:
         console(render_text(findings, scanned))
     return 1 if findings else 0
+
+
+def _run_deep(
+    args: argparse.Namespace,
+    paths: Sequence[str],
+    rules: Sequence[str] | None,
+    shallow_paths: Sequence[str] | None,
+):
+    """Dispatch to the whole-program driver with the cache flags applied."""
+    from repro.checks.analysis import DEFAULT_CACHE_DIR, run_deep
+
+    cache_dir: str | None
+    if getattr(args, "no_cache", False):
+        cache_dir = None
+    else:
+        cache_dir = getattr(args, "cache_dir", None) or DEFAULT_CACHE_DIR
+    return run_deep(
+        paths, rules=rules, shallow_paths=shallow_paths, cache_dir=cache_dir
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:

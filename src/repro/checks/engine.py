@@ -92,8 +92,23 @@ class FileContext:
         )
 
     def is_suppressed(self, finding: Finding) -> bool:
-        sup = self.suppressions.get(finding.line)
-        return sup is not None and finding.rule in sup.rule_ids
+        return suppression_covers(self.suppressions, finding)
+
+
+def suppression_covers(
+    suppressions: dict[int, "Suppression"], finding: Finding
+) -> bool:
+    """Does a parsed noqa table suppress ``finding``?
+
+    Scope is the **physical line only**: a ``# repro: noqa[RULE]`` on a
+    decorator line covers just that line, never the decorated function's
+    ``def`` line or body (pinned by the decorator regression fixtures in
+    ``tests/checks/test_engine.py``).  Deep (whole-program) findings go
+    through this same helper, so an interprocedural THR210/DTY110 report
+    is silenced only by a noqa on the exact anchored line.
+    """
+    sup = suppressions.get(finding.line)
+    return sup is not None and finding.rule in sup.rule_ids
 
 
 def _parse_suppressions(
@@ -160,6 +175,8 @@ def _scan_context(ctx: FileContext, rules: Sequence[Rule]) -> list[Finding]:
             )
         )
     for r in rules:
+        if r.deep:
+            continue  # whole-program rules run in the analysis pass
         if not r.applies_to(ctx.posix_path):
             continue
         for f in r.check(ctx):
@@ -239,6 +256,7 @@ __all__ = [
     "Suppression",
     "FileContext",
     "make_context",
+    "suppression_covers",
     "run",
     "run_source",
     "discover",

@@ -34,6 +34,10 @@ class Rule:
     #: Path suffixes (``/``-separated, POSIX style) where the rule does
     #: not apply — e.g. the module that *implements* the guarded API.
     exempt_paths: tuple = field(default=())
+    #: Deep rules run in the whole-program analysis pass
+    #: (:mod:`repro.checks.analysis`), not the per-file scan; their
+    #: ``check`` is a stub and the engine skips them outside ``--deep``.
+    deep: bool = False
 
     def applies_to(self, posix_path: str) -> bool:
         return not any(posix_path.endswith(sfx) for sfx in self.exempt_paths)
@@ -55,6 +59,7 @@ def rule(
     summary: str,
     invariant: str,
     exempt_paths: tuple = (),
+    deep: bool = False,
 ) -> Callable[[CheckFn], CheckFn]:
     """Register ``check`` under ``id``; returns the callable unchanged."""
 
@@ -70,6 +75,7 @@ def rule(
                 invariant=invariant,
                 check=check,
                 exempt_paths=tuple(exempt_paths),
+                deep=deep,
             )
         return check
 

@@ -18,13 +18,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.checks.astutil import (
-    call_name,
-    enclosing_function,
-    in_with_lock,
-    is_lockish,
-    terminal_name,
-)
+from repro.checks.astutil import enclosing_function, in_with_lock, is_lockish, terminal_name
 from repro.checks.engine import FileContext
 from repro.checks.findings import Finding, Severity
 from repro.checks.registry import rule

@@ -8,7 +8,7 @@ annotated with the table/figure/section they appear in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 # ---------------------------------------------------------------------------
 # Reproducibility

@@ -25,7 +25,7 @@ from repro.core.base import ConvExecutor, float_conv2d
 from repro.core.masks import SensitivityMask
 from repro.nn.layers import Conv2d
 from repro.quant.observer import MinMaxObserver, Observer
-from repro.quant.uniform import QParams, fake_quantize, quantize, symmetric_qparams
+from repro.quant.uniform import QParams, fake_quantize, symmetric_qparams
 from repro.utils.im2col import im2col
 
 

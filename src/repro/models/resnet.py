@@ -12,16 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn import functional as F
-from repro.nn.layers import (
-    BatchNorm2d,
-    Conv2d,
-    GlobalAvgPool2d,
-    Linear,
-    Module,
-    ReLU,
-    Sequential,
-)
+from repro.nn.layers import BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, Module, Sequential
 from repro.nn.tensor import Tensor
 from repro.utils.rng import new_rng
 

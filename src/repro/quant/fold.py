@@ -26,7 +26,6 @@ and are left unchanged.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.nn.layers import BatchNorm2d, Conv2d, Identity, Module, Sequential
 from repro.nn.tensor import Tensor

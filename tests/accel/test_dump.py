@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.accel.dump import FORMAT_VERSION, load_workloads, save_workloads
+from repro.accel.dump import load_workloads, save_workloads
 from repro.accel.simulator import LayerWorkload, build_accelerator
 
 

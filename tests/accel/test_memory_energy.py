@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.accel.energy import (
-    DEFAULT_ENERGY,
-    EnergyBreakdown,
-    EnergyModel,
-    mac_energy_pj,
-)
+from repro.accel.energy import DEFAULT_ENERGY, EnergyBreakdown, mac_energy_pj
 from repro.accel.memory import (
     DEFAULT_MEMORY,
     MemoryConfig,

@@ -1,6 +1,5 @@
 """Analysis drivers: the figure/table generators behind the benchmarks."""
 
-import numpy as np
 import pytest
 
 from repro.accel.alloc import PEAllocation

@@ -1,6 +1,5 @@
 """Section 6.1 per-layer precision-loss listing."""
 
-import numpy as np
 
 from repro.analysis.precision_loss import (
     LayerPrecisionLoss,

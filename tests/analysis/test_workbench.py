@@ -1,6 +1,5 @@
 """Workbench: caching, determinism, and scale handling."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.workbench import Workbench, scale_from_env

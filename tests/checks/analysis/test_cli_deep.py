@@ -1,0 +1,127 @@
+"""CLI behaviour for --deep, --format sarif, and the --changed fallback."""
+
+import json
+
+import pytest
+
+from repro.checks.cli import main as check_main
+
+
+RACY = """
+import threading
+
+_lock = threading.Lock()
+_counter = 0
+
+
+def locked_bump():
+    global _counter
+    with _lock:
+        _counter += 1
+
+
+def unlocked_bump():
+    global _counter
+    _counter += 1
+
+
+def start():
+    threading.Thread(target=locked_bump).start()
+    threading.Thread(target=unlocked_bump).start()
+"""
+
+CLEAN = """
+import threading
+
+_lock = threading.Lock()
+_counter = 0
+
+
+def bump():
+    global _counter
+    with _lock:
+        _counter += 1
+
+
+def start():
+    threading.Thread(target=bump).start()
+    threading.Thread(target=bump).start()
+"""
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    pkg = tmp_path / "src" / "repro" / "demo"
+    pkg.mkdir(parents=True)
+    return pkg
+
+
+class TestDeepFlag:
+    def test_deep_finds_race_shallow_misses(self, tree, capsys):
+        (tree / "state.py").write_text(RACY)
+        assert check_main(["src", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert check_main(["src", "--deep", "--no-cache"]) == 1
+        assert "THR210" in capsys.readouterr().out
+
+    def test_deep_clean_exits_zero(self, tree, capsys):
+        (tree / "state.py").write_text(CLEAN)
+        assert check_main(["src", "--deep", "--no-cache"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_deep_rule_selection(self, tree, capsys):
+        (tree / "state.py").write_text(RACY)
+        assert check_main(["src", "--deep", "--no-cache", "--rules", "THR211"]) == 0
+        capsys.readouterr()
+        assert check_main(["src", "--deep", "--no-cache", "--rules", "THR210"]) == 1
+
+    def test_deep_writes_cache_dir(self, tree, tmp_path, capsys):
+        (tree / "state.py").write_text(CLEAN)
+        cache = tmp_path / "custom-cache"
+        assert check_main(["src", "--deep", "--cache-dir", str(cache)]) == 0
+        assert any(cache.iterdir())
+
+    def test_dty103_superseded_under_deep(self, tree, capsys):
+        # A name that only DTY103's heuristic would flag: under --deep
+        # the provenance-based DTY110 takes over and stays quiet when
+        # there is no actual exact source feeding the value.
+        assert check_main(["src", "--deep", "--no-cache", "--rules", "DTY103"]) in (0, 1)
+
+
+class TestSarifFormat:
+    def test_sarif_output_parses(self, tree, capsys):
+        (tree / "state.py").write_text(RACY)
+        rc = check_main(["src", "--deep", "--no-cache", "--format", "sarif"])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        assert any(r["ruleId"] == "THR210" for r in results)
+
+    def test_sarif_clean_run(self, tree, capsys):
+        (tree / "state.py").write_text(CLEAN)
+        rc = check_main(["src", "--deep", "--no-cache", "--format", "sarif"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []
+
+
+class TestChangedFallback:
+    def test_changed_outside_git_falls_back_to_full_scan(self, tree, capsys):
+        # tmp_path is not a git work-tree: --changed must warn and scan
+        # everything rather than crash (regression for the RuntimeError).
+        (tree / "state.py").write_text(RACY)
+        rc = check_main(["src", "--changed"])
+        captured = capsys.readouterr()
+        assert rc == 0  # shallow rules see nothing wrong with RACY
+        assert "falling back to a full scan" in captured.err
+        assert "108" not in captured.out  # scanned the fixture tree, not src/
+
+    def test_changed_deep_outside_git_still_runs_deep(self, tree, capsys):
+        (tree / "state.py").write_text(RACY)
+        rc = check_main(["src", "--changed", "--deep", "--no-cache"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "THR210" in captured.out
+        assert "falling back" in captured.err

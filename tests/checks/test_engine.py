@@ -58,6 +58,64 @@ class TestSup001Policy:
         assert "DTY101" in rules_of(findings)
 
 
+class TestDecoratorLineScope:
+    """A noqa's scope is the physical line only — never the decorated body.
+
+    Pins :func:`repro.checks.engine.suppression_covers`: a suppression on
+    a decorator line must not leak onto the ``def`` line or into the
+    function body (a decorator is lexically adjacent to, but distinct
+    from, the statements it wraps).
+    """
+
+    def test_noqa_on_decorator_does_not_cover_body(self):
+        src = (
+            "@register  # repro: noqa[DTY101] — decorator-line comment\n"
+            "def f(a, b):\n"
+            "    return a @ b\n"
+        )
+        findings = run_source(src)
+        assert rules_of(findings) == ["DTY101"]
+        assert findings[0].line == 3
+
+    def test_noqa_on_decorator_does_not_cover_def_line(self):
+        # DTY101 would anchor at the matmul on the def line's default.
+        src = (
+            "@register  # repro: noqa[DTY101] — decorator-line comment\n"
+            "def f(x=a @ b):\n"
+            "    return x\n"
+        )
+        findings = run_source(src)
+        assert "DTY101" in rules_of(findings)
+
+    def test_noqa_on_offending_line_inside_decorated_body_works(self):
+        src = (
+            "@register\n"
+            "def f(a, b):\n"
+            "    return a @ b  # repro: noqa[DTY101] — operands are bool masks\n"
+        )
+        assert run_source(src) == []
+
+    def test_suppression_covers_is_exact_line_keyed(self):
+        from repro.checks.engine import suppression_covers
+        from repro.checks.findings import Finding, Severity
+
+        ctx = make_context(
+            "@register  # repro: noqa[DTY101] — here only\n"
+            "def f():\n"
+            "    pass\n"
+        )
+
+        def finding_at(line):
+            return Finding(
+                rule="DTY101", severity=Severity.ERROR, path=ctx.path,
+                line=line, col=0, message="probe",
+            )
+
+        assert suppression_covers(ctx.suppressions, finding_at(1))
+        assert not suppression_covers(ctx.suppressions, finding_at(2))
+        assert not suppression_covers(ctx.suppressions, finding_at(3))
+
+
 class TestRuleSelection:
     def test_rules_filter(self):
         src = "import numpy as np\na = np.matmul(b, c)\nprint(a)\n"

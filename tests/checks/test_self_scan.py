@@ -39,6 +39,17 @@ def test_sup001_meta_rule_cannot_be_suppressed():
     assert SUP001 in [f.rule for f in findings]
 
 
+def test_deep_self_scan_is_clean():
+    """The whole-program analyses agree: no races, inversions, or
+    exactness leaks across the real call graph (acceptance bar for
+    ``repro check --deep src``)."""
+    from repro.checks.analysis import run_deep
+
+    result = run_deep([str(SRC)], cache_dir=None)
+    rendered = "\n".join(f.render() for f in result.findings)
+    assert result.findings == [], f"deep scan found violations:\n{rendered}"
+
+
 def test_registry_is_complete_and_well_formed():
     fams = checks.families()
     assert set(fams) == {"dtype", "threads", "obs", "numeric", "plan"}

@@ -1,7 +1,6 @@
 """DRQ internals beyond the executor surface: regions, precisions, scheme wiring."""
 
 import numpy as np
-import pytest
 
 from repro.core.drq import DRQConvExecutor, region_mean_magnitude
 from repro.core.schemes import drq_scheme

@@ -6,7 +6,6 @@ import pytest
 from repro.core.pipeline import QuantizedInferenceEngine
 from repro.core.schemes import odq_scheme, static_scheme
 from repro.models import resnet20
-from repro.nn import Tensor
 
 
 @pytest.fixture

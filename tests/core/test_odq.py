@@ -6,9 +6,8 @@ import pytest
 from repro.core.base import float_conv2d
 from repro.core.odq import ODQConvExecutor
 from repro.nn import Conv2d
-from repro.quant.bitsplit import cross_terms, split_planes
+from repro.quant.bitsplit import split_planes
 from repro.quant.uniform import quantize
-from repro.utils.im2col import im2col
 
 
 def make_executor(rng, threshold=0.3, in_c=3, out_c=4, k=3, stride=1, padding=1,

@@ -6,7 +6,7 @@ import pytest
 from repro.core.pipeline import InstrumentedConv, QuantizedInferenceEngine, run_scheme
 from repro.core.schemes import drq_scheme, fp32_scheme, odq_scheme, static_scheme
 from repro.models import resnet20
-from repro.nn import Conv2d, Linear, Sequential, Tensor
+from repro.nn import Linear, Sequential, Tensor
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Scheme registry."""
 
-import pytest
 
 from repro.core.drq import DRQConvExecutor
 from repro.core.odq import ODQConvExecutor

@@ -42,7 +42,7 @@ class TestStaticQuant:
     def test_zero_point_correction_correct(self, rng):
         """Integer-domain computation must match float fake-quant conv."""
         from repro.core.base import float_conv2d
-        from repro.quant.uniform import fake_quantize, quantize
+        from repro.quant.uniform import fake_quantize
 
         x = rng.uniform(0, 1, (1, 3, 6, 6))
         ex = calibrated(rng, x, 8)

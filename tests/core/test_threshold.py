@@ -1,6 +1,5 @@
 """Adaptive threshold search and the Fig.-22 sweep."""
 
-import numpy as np
 import pytest
 
 from repro.core.threshold import (

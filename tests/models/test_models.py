@@ -1,6 +1,5 @@
 """Model topologies: depths, shapes, and the registry."""
 
-import numpy as np
 import pytest
 
 from repro.models import (

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.nn import SGD, Adam, CosineLR, StepLR, Tensor
-from repro.nn.optim import Optimizer
 
 
 def quadratic_params(start=5.0):

@@ -1,6 +1,5 @@
 """Property-based checks of the accelerator substrate models."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

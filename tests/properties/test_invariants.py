@@ -14,11 +14,11 @@ from repro.accel.alloc import (
     max_sensitive_fraction,
     table1_configurations,
 )
-from repro.accel.energy import DEFAULT_ENERGY, mac_energy_pj
+from repro.accel.energy import mac_energy_pj
 from repro.accel.pe import bitfusion_mac_cycles
 from repro.core.base import int_conv2d
 from repro.core.odq import odq_mixed_conv, odq_weight_qparams
-from repro.quant.bitsplit import cross_terms, split_planes
+from repro.quant.bitsplit import split_planes
 from repro.quant.uniform import (
     affine_qparams,
     fake_quantize,

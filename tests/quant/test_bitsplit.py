@@ -3,8 +3,8 @@
 import numpy as np
 from hypothesis import given, strategies as st
 
-from repro.quant.bitsplit import BitPlanes, cross_terms, predictor_term, split_planes
-from repro.quant.uniform import affine_qparams, quantize, symmetric_qparams
+from repro.quant.bitsplit import cross_terms, predictor_term, split_planes
+from repro.quant.uniform import affine_qparams, symmetric_qparams
 
 
 def planes_from_ints(values, signed, low_bits=2, bits=4):

@@ -1,7 +1,6 @@
 """DoReFa quantizers, STE gradients, and model transformation."""
 
 import numpy as np
-import pytest
 
 from repro.models import resnet20
 from repro.nn import SGD, Conv2d, Linear, Sequential, Tensor, cross_entropy

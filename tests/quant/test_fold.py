@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.models import densenet, resnet20, vgg16
-from repro.nn import BatchNorm2d, Conv2d, Identity, Sequential, Tensor
+from repro.nn import BatchNorm2d, Conv2d, Sequential, Tensor
 from repro.quant.fold import fold_batchnorm, fold_conv_bn
 
 

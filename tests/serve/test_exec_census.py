@@ -7,7 +7,6 @@ thus /metrics, Prometheus and JSON alike), and the serving benchmark
 carries both the census and per-worker busy fractions in its report.
 """
 
-import numpy as np
 import pytest
 
 from repro.obs.exporters import prometheus_text

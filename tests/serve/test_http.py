@@ -9,7 +9,6 @@ import urllib.request
 import numpy as np
 import pytest
 
-from repro.serve.config import ServeConfig
 from repro.serve.server import InferenceServer
 
 

@@ -5,7 +5,6 @@ script) prints usage and exits 2 for missing/unknown commands instead of
 tracebacking, and that every registered subcommand has a handler.
 """
 
-import sys
 
 import pytest
 
